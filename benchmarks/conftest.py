@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+All per-table/figure benchmarks share one :class:`ExperimentContext` at the
+default experiment scale, so the expensive pipeline steps (Internet build,
+source assembly, APD, day-0 sweep) run once per session.  Each benchmark then
+measures its experiment's analysis step with a single pedantic round -- the
+point is regenerating the paper's numbers, not micro-timing.
+"""
+
+import pytest
+
+from repro.experiments.context import DEFAULT_EXPERIMENT_CONFIG, ExperimentContext
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-hitlist-target",
+        action="store",
+        default=None,
+        type=int,
+        help="Override the hitlist input size used by the benchmark context.",
+    )
+
+
+@pytest.fixture(scope="session")
+def ctx(request) -> ExperimentContext:
+    """The shared default-scale experiment context."""
+    override = request.config.getoption("--repro-hitlist-target")
+    config = DEFAULT_EXPERIMENT_CONFIG
+    if override:
+        from dataclasses import replace
+
+        config = replace(config, hitlist_target=override)
+    context = ExperimentContext(config)
+    # Materialise the shared artefacts once, outside any benchmark timing.
+    _ = context.hitlist
+    _ = context.apd_result
+    _ = context.day0_sweep
+    return context
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, iterations=1, rounds=1)

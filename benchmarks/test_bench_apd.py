@@ -1,0 +1,88 @@
+"""Benchmark / regeneration harness for Table 3 plus APD design ablations.
+
+Covers the Table 3 fan-out example and the DESIGN.md ablations:
+
+* fan-out (one probe per nybble branch) vs purely random target selection for
+  a partially aliased prefix -- the motivating example of Section 5.1 case 3;
+* cross-protocol merging vs single-protocol APD under loss (Section 5.2).
+"""
+
+import random
+
+from benchmarks.conftest import run_once
+from repro.addr import IPv6Prefix
+from repro.addr.generate import fanout_targets, random_addresses_in_prefix
+from repro.core.apd import AliasedPrefixDetector, APDConfig
+from repro.experiments import table3
+from repro.netmodel.services import Protocol
+
+
+def test_bench_table3_fanout_example(benchmark, ctx):
+    result = run_once(benchmark, lambda: table3.run(ctx))
+    print("\n" + table3.format_table(result))
+    assert len(result.targets) == 16
+    assert result.covers_all_branches
+    assert result.all_inside_prefix
+
+
+def test_bench_ablation_fanout_vs_random(benchmark, ctx):
+    """A prefix with 9 of 16 aliased subprefixes: fan-out never mislabels it,
+    purely random target selection sometimes does (all probes land in aliased
+    branches by chance)."""
+
+    def ablation():
+        rng = random.Random(7)
+        # 14 of the 16 nybble branches are aliased; the whole prefix is not.
+        aliased_branches = set(range(14))
+        trials = 300
+
+        def classify(targets, prefix):
+            # A target "responds" when its branch (first sub-nybble) is aliased.
+            shift = 124 - prefix.length
+            responding = sum(
+                1 for t in targets if ((t.value >> shift) & 0xF) in aliased_branches
+            )
+            return responding == 16
+
+        prefix = IPv6Prefix.parse("2001:db8:1::/96")
+        fanout_false_positives = sum(
+            classify(fanout_targets(prefix, rng), prefix) for _ in range(trials)
+        )
+        random_false_positives = sum(
+            classify(random_addresses_in_prefix(prefix, 16, rng), prefix) for _ in range(trials)
+        )
+        return fanout_false_positives, random_false_positives
+
+    fanout_fp, random_fp = run_once(benchmark, ablation)
+    print(f"\nfalse positives over 300 trials: fan-out={fanout_fp}, random={random_fp}")
+    assert fanout_fp == 0
+    assert random_fp > fanout_fp  # random selection mislabels the prefix sometimes
+
+
+def test_bench_ablation_cross_protocol_merging(benchmark, ctx):
+    """Cross-protocol APD detects ICMP-only aliased regions that TCP-only
+    probing misses entirely."""
+
+    def ablation():
+        internet = ctx.internet
+        icmp_only_regions = [
+            r
+            for r in internet.aliased_regions
+            if Protocol.TCP80 not in r.host.services and not r.syn_proxy
+        ][:20]
+        prefixes = [
+            IPv6Prefix.of(r.prefix.network, max(64, r.prefix.length)) for r in icmp_only_regions
+        ]
+        both = AliasedPrefixDetector(internet, APDConfig(), seed=11)
+        tcp_only = AliasedPrefixDetector(
+            internet, APDConfig(protocols=(Protocol.TCP80,)), seed=11
+        )
+        detected_both = sum(both.probe_prefix(p).is_aliased for p in prefixes)
+        detected_tcp = sum(tcp_only.probe_prefix(p).is_aliased for p in prefixes)
+        return len(prefixes), detected_both, detected_tcp
+
+    total, detected_both, detected_tcp = run_once(benchmark, ablation)
+    print(f"\nICMP-only aliased prefixes: {total}, detected with merging: {detected_both}, TCP-only: {detected_tcp}")
+    if total:
+        assert detected_both > detected_tcp
+        assert detected_both >= total * 0.8

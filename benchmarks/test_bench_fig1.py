@@ -1,0 +1,17 @@
+"""Benchmark / regeneration harness for Figure 1 (run-up, AS CDFs, zesplot)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1
+
+
+def test_bench_fig1(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig1.run(ctx))
+    print("\n" + fig1.format_table(result))
+    # Figure 1a: every source grows strongly over the run-up period.
+    for name in result.runup:
+        assert result.growth_factor(name) > 1.5
+    # Figure 1b: domain lists / CT are much more concentrated than RIPE Atlas.
+    assert result.as_curves["ct"][0] > result.as_curves["ripeatlas"][0]
+    # Figure 1c: a large share of announced prefixes carries hitlist addresses.
+    assert result.coverage_share > 0.25
+    assert len(result.zesplot.items) == result.announced_prefixes

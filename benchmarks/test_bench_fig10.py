@@ -1,0 +1,21 @@
+"""Benchmark / regeneration harness for Figure 10 and Table 8 (rDNS source)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10
+from repro.netmodel.services import Protocol
+
+
+def test_bench_fig10_table8(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig10.run(ctx))
+    print("\n" + fig10.format_table(result))
+    # Nearly all rDNS addresses are new relative to the hitlist (paper: 11.1 M of 11.7 M).
+    assert result.mostly_new
+    # Figure 10: adding rDNS would not make the AS distribution more top-heavy.
+    assert result.rdns_no_more_concentrated
+    # Unrouted entries exist and are filtered before probing (paper: 2.1 M).
+    assert result.unrouted_filtered > 0
+    # The responding population is server-like: few SLAAC, low hamming weights.
+    assert result.rdns_is_server_population
+    # Table 8: ICMP responds at a reasonable rate, comparable to the hitlist.
+    assert result.rdns_response_rates[Protocol.ICMP] > 0.01
+    assert len(result.top_input_ases) > 0

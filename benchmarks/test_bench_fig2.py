@@ -1,0 +1,18 @@
+"""Benchmark / regeneration harness for Figure 2 (entropy clustering of /32s)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig2.run(ctx))
+    print("\n" + fig2.format_table(result))
+    # Figure 2a: a small number of addressing schemes (the paper finds 6).
+    assert 2 <= result.full_k <= 10
+    # Figure 2b: IID-only fingerprints collapse into at most as many clusters.
+    assert 2 <= result.iid_k <= result.full_k + 2
+    # A popular counter-style (low-entropy) cluster exists.
+    assert result.has_popular_low_entropy_cluster
+    # Popularities are a valid distribution.
+    total = sum(c.popularity for c in result.full_span.clusters)
+    assert abs(total - 1.0) < 1e-6

@@ -1,0 +1,15 @@
+"""Benchmark / regeneration harness for Figure 3 (DNS clusters, BGP cluster map)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig3.run(ctx))
+    print("\n" + fig3.format_table(result))
+    # Figure 3a: DNS responders cluster into few, mostly low-entropy schemes.
+    assert result.dns_k >= 1
+    assert result.dns_clusters_are_low_entropy
+    # Figure 3b: the unsized zesplot covers every clustered BGP prefix.
+    assert len(result.zesplot.items) == result.bgp_clustering.num_networks
+    assert result.bgp_clustering.num_networks > 0

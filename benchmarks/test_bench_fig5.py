@@ -1,0 +1,16 @@
+"""Benchmark / regeneration harness for Figure 5 (responses with/without APD)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig5.run(ctx))
+    print("\n" + fig5.format_table(result))
+    # Aliased prefixes are a minority of the plotted prefixes ...
+    assert result.aliased_prefix_share < 0.75
+    # ... but contain a disproportionately large share of raw ICMP responses,
+    # which is why filtering them matters.
+    assert result.aliased_response_share > 0.3
+    assert result.aliased_response_share > result.aliased_prefix_share * 0.5
+    assert len(result.unfiltered.items) >= len(result.aliased_only.items)

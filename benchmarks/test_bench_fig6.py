@@ -1,0 +1,19 @@
+"""Benchmark / regeneration harness for Figure 6 (responses per BGP prefix)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig6.run(ctx))
+    print("\n" + fig6.format_table(result))
+    assert result.responsive_addresses > 500
+    # Responses spread over a substantial share of announced prefixes and many ASes.
+    assert result.covered_ases > 30
+    assert 0 < result.covered_prefixes <= result.announced_prefixes
+    # A substantial share of prefixes that contained input addresses also
+    # yields ICMP responses (the paper calls the two plots "strikingly
+    # similar"; at simulation scale many input prefixes hold only a handful of
+    # client addresses, so the share is lower in absolute terms).
+    assert result.responses_track_input > 0.3
+    assert len(result.zesplot.items) == result.announced_prefixes

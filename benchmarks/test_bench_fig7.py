@@ -1,0 +1,19 @@
+"""Benchmark / regeneration harness for Figure 7 (cross-protocol responsiveness)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7
+from repro.netmodel.services import Protocol
+
+
+def test_bench_fig7(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig7.run(ctx))
+    print("\n" + fig7.format_table(result))
+    # Anything responsive answers ICMPv6 with high probability (paper: >= 89 %).
+    assert result.icmp_given_any_responsive > 0.85
+    assert result.icmp_dominates
+    # QUIC responders almost always also serve HTTPS; the reverse is weaker.
+    assert result.quic_implies_https
+    assert result.https_to_quic_weaker
+    # HTTPS responders usually also serve HTTP (paper: 91 %).
+    if result.counts[Protocol.TCP443] > 50:
+        assert result.probability(Protocol.TCP80, Protocol.TCP443) > 0.7

@@ -1,0 +1,18 @@
+"""Benchmark / regeneration harness for Figure 8 (longitudinal responsiveness)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig8.run(ctx))
+    print("\n" + fig8.format_table(result))
+    # Server-heavy sources stay responsive over the campaign ...
+    assert result.stable_sources_stay_responsive
+    # ... while the CPE/client-heavy scamper source decays the fastest.
+    assert result.scamper_decays_fastest
+    # Retention values are proper fractions and start at 1.0 by construction.
+    for timeline in result.timelines.values():
+        if timeline.baseline_size:
+            assert timeline.retention[0] == 1.0
+        assert all(0.0 <= r <= 1.0 for r in timeline.retention)

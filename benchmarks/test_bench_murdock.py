@@ -1,0 +1,17 @@
+"""Benchmark / regeneration harness for Section 5.5 (APD vs Murdock et al.)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import murdock
+
+
+def test_bench_murdock_comparison(benchmark, ctx):
+    result = run_once(benchmark, lambda: murdock.run(ctx))
+    print("\n" + murdock.format_table(result))
+    c = result.comparison
+    # Multi-level cross-protocol APD classifies more hitlist addresses as
+    # aliased than the static /96 single-protocol baseline ...
+    assert result.apd_finds_at_least_as_many
+    assert c.only_apd > c.only_murdock
+    # ... and the addresses missed by the baseline are a meaningful share.
+    assert c.only_apd > 0
+    assert c.apd_aliased_addresses > 0.2 * c.hitlist_size

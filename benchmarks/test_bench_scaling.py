@@ -1,0 +1,65 @@
+"""Performance benchmarks of the core algorithmic kernels.
+
+Unlike the per-table/figure harnesses these measure raw throughput of the
+pieces a downstream user would run at much larger scale: longest-prefix
+matching, entropy fingerprinting, k-means and the APD probe loop.
+"""
+
+import random
+
+import numpy as np
+
+from repro.addr import IPv6Prefix, PrefixTrie
+from repro.addr.generate import random_address_in_prefix
+from repro.core.clustering import kmeans
+from repro.core.entropy import nybble_entropies
+from repro.netmodel.services import Protocol
+
+
+def test_bench_trie_longest_prefix_match(benchmark, ctx):
+    trie = PrefixTrie()
+    for i, announcement in enumerate(ctx.internet.bgp):
+        trie.insert(announcement.prefix, i)
+    addresses = ctx.hitlist.addresses[:5000]
+
+    def lookups():
+        return sum(1 for a in addresses if trie.lookup(a) is not None)
+
+    hits = benchmark(lookups)
+    assert hits > len(addresses) * 0.9
+
+
+def test_bench_entropy_fingerprint(benchmark, ctx):
+    addresses = ctx.hitlist.addresses[:2000]
+
+    def fingerprint():
+        return nybble_entropies(addresses, 9, 32)
+
+    entropies = benchmark(fingerprint)
+    assert len(entropies) == 24
+
+
+def test_bench_kmeans(benchmark):
+    rng = np.random.default_rng(0)
+    data = np.vstack([rng.normal(i % 4, 0.1, size=(100, 24)) for i in range(8)])
+
+    def cluster():
+        return kmeans(data, 6, seed=1, restarts=3)
+
+    result = benchmark(cluster)
+    assert result.k == 6
+
+
+def test_bench_probe_throughput(benchmark, ctx):
+    internet = ctx.internet
+    rng = random.Random(5)
+    region = internet.aliased_regions[0]
+    targets = [random_address_in_prefix(region.prefix, rng) for _ in range(500)]
+
+    def probe_batch():
+        return sum(
+            1 for t in targets if internet.probe(t, Protocol.ICMP, day=0) is not None
+        )
+
+    responded = benchmark(probe_batch)
+    assert responded > 400

@@ -1,0 +1,12 @@
+"""Benchmark / regeneration harness for Table 1 (comparison with prior work)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, ctx):
+    result = run_once(benchmark, lambda: table1.run(ctx))
+    print("\n" + table1.format_table(result))
+    assert result.is_only_full_apd
+    assert result.this_work_ases > 50
+    assert result.this_work_prefixes >= result.this_work_ases

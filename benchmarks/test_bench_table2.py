@@ -1,0 +1,16 @@
+"""Benchmark / regeneration harness for Table 2 (hitlist source overview)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, ctx):
+    result = run_once(benchmark, lambda: table2.run(ctx))
+    print("\n" + table2.format_table(result))
+    assert len(result.rows) == 7
+    # DNS-derived sources are far more top-heavy than RIPE Atlas.
+    assert result.top_as_share_ct > result.top_as_share_ripeatlas
+    # scamper and the DNS sources dominate the address volume.
+    largest = max(result.rows, key=lambda r: r.total_ips)
+    assert largest.name in ("scamper", "ct", "domainlists")
+    assert result.total.total_ips > 0.8 * sum(r.new_ips for r in result.rows)

@@ -1,0 +1,15 @@
+"""Benchmark / regeneration harness for Table 4 (sliding window ablation)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4
+
+
+def test_bench_table4(benchmark, ctx):
+    result = run_once(benchmark, lambda: table4.run(ctx, days=range(6), windows=range(6)))
+    print("\n" + table4.format_table(result))
+    unstable = [s.unstable_prefixes for s in result.stats]
+    # Longer windows never increase instability; the 3-day window removes most
+    # of it (the paper reports an ~80 % reduction).
+    assert unstable == sorted(unstable, reverse=True)
+    if unstable[0] > 0:
+        assert result.reduction_with_three_days >= 0.5

@@ -1,0 +1,20 @@
+"""Benchmark / regeneration harness for Tables 5 and 6 (fingerprint consistency)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table5
+
+
+def test_bench_table5_table6(benchmark, ctx):
+    result = run_once(benchmark, lambda: table5.run(ctx))
+    print("\n" + table5.format_table(result))
+    report = result.aliased_report
+    assert len(report) > 0
+    # Table 5: only a small fraction of aliased prefixes shows inconsistencies.
+    assert result.aliased_shares["inconsistent"] < 0.2
+    # Cumulative inconsistency counts are monotone in the test order.
+    cumulative = list(report.cumulative_inconsistent().values())
+    assert cumulative == sorted(cumulative)
+    # Table 6: aliased prefixes are less inconsistent and more often pass the
+    # high-confidence timestamp test than the non-aliased validation set.
+    assert result.aliased_less_inconsistent or result.aliased_more_timestamp_consistent
+    assert result.aliased_shares["consistent"] > 0.25

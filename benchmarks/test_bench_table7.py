@@ -1,0 +1,29 @@
+"""Benchmark / regeneration harness for Table 7 and Figure 9 (learned addresses)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table7
+from repro.netmodel.services import Protocol
+
+
+def test_bench_table7_fig9(benchmark, ctx):
+    result = run_once(benchmark, lambda: table7.run(ctx))
+    print("\n" + table7.format_table(result))
+    report = result.report
+    # Both tools generate new routable candidates.
+    assert report.generated_count("entropy_ip") > 100
+    assert report.generated_count("6gen") > 100
+    # The candidate sets are largely disjoint (paper: 0.2 % overlap).
+    assert result.tools_mostly_disjoint
+    # The majority of generated addresses stays unresponsive.
+    assert result.low_overall_response_rate
+    # Table 7: the most common protocol combination among responders includes
+    # ICMP for both tools (the paper's top row is ICMP-only).
+    for tool in ("entropy_ip", "6gen"):
+        combos = result.top_protocol_combinations(tool, limit=3)
+        if combos:
+            assert Protocol.ICMP in combos[0][0]
+    # Figure 9: responsive generated addresses are concentrated in a limited
+    # set of ASes for both tools.
+    for tool, curve in result.as_curves.items():
+        if len(curve) >= 2:
+            assert curve[min(2, len(curve)) - 1] > 0.1

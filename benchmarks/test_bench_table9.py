@@ -1,0 +1,19 @@
+"""Benchmark / regeneration harness for Table 9 and Section 9.3 (crowdsourcing)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table9
+
+
+def test_bench_table9(benchmark, ctx):
+    result = run_once(benchmark, lambda: table9.run(ctx))
+    print("\n" + table9.format_table(result))
+    # Table 9: MTurk recruits more participants; both platforms show IPv6
+    # adoption in the 15-50 % band (paper: 31 % / 20.6 %).
+    assert result.mturk_has_more_participants
+    assert 0.15 < result.ipv6_rate_mturk < 0.5
+    assert 0.10 < result.ipv6_rate_prolific < 0.4
+    # Section 9.3: client responsiveness is low and bounded by the RIPE Atlas
+    # rate in the same networks; responsive clients churn within hours.
+    assert result.client_response_rate < 0.45
+    assert result.clients_less_responsive_than_atlas
+    assert result.clients_churn_quickly

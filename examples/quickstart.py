@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: build a simulated IPv6 Internet, assemble a hitlist, unbias it.
+
+This walks through the paper's whole pipeline at toy scale in under a minute:
+
+1. build a deterministic simulated IPv6 Internet,
+2. collect addresses from all hitlist sources,
+3. detect aliased prefixes with the multi-level fan-out APD,
+4. scan the de-aliased targets on five protocols,
+5. report what de-aliasing and responsiveness filtering did to the hitlist.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core.apd import AliasedPrefixDetector, APDConfig
+from repro.core.bias import coverage_stats
+from repro.core.hitlist import Hitlist
+from repro.netmodel import InternetConfig, SimulatedInternet
+from repro.netmodel.services import ALL_PROTOCOLS
+from repro.probing.zmap import ZMapScanner
+from repro.sources import assemble_all_sources
+
+
+def main() -> None:
+    # 1. A small, deterministic Internet: ~80 ASes, a few thousand hosts.
+    config = InternetConfig(seed=42, num_ases=80, base_hosts_per_allocation=15)
+    internet = SimulatedInternet(config)
+    print(f"Simulated Internet: {len(internet.registry)} ASes, "
+          f"{internet.num_announced_prefixes} BGP prefixes, {len(internet.hosts)} hosts, "
+          f"{len(internet.aliased_regions)} aliased regions")
+
+    # 2. Assemble the hitlist input from all public sources.
+    assembly = assemble_all_sources(internet, total_target=4000, seed=1, runup_days=90)
+    hitlist = Hitlist.from_assembly(assembly)
+    stats = coverage_stats(hitlist.addresses, internet)
+    print(f"\nHitlist input: {len(hitlist):,} addresses over {stats.num_ases} ASes "
+          f"and {stats.num_prefixes} prefixes (top AS holds {stats.top_as_share:.1%})")
+
+    # 3. Multi-level aliased prefix detection (16-probe fan-out, ICMP + TCP/80).
+    detector = AliasedPrefixDetector(internet, APDConfig(), seed=7)
+    apd = detector.run(hitlist.addresses, day=0)
+    aliased, clean = apd.split(hitlist.addresses)
+    print(f"\nAPD probed {len(apd.outcomes)} prefixes with {apd.probes_sent:,} packets, "
+          f"found {len(apd.aliased_prefixes)} aliased prefixes")
+    print(f"De-aliasing removes {len(aliased):,} of {len(hitlist):,} addresses "
+          f"({len(aliased) / len(hitlist):.1%}) -- the paper removes about half")
+
+    # 4. Responsiveness scan over the de-aliased targets.
+    scanner = ZMapScanner(internet, seed=3)
+    sweep = scanner.sweep(clean, ALL_PROTOCOLS, day=0)
+    responsive = ZMapScanner.responsive_any(sweep)
+    print(f"\nResponsive (any protocol): {len(responsive):,} of {len(clean):,} targets")
+    for protocol, result in sweep.items():
+        print(f"  {protocol.value:<7} {len(result.replies):>6,} replies "
+              f"({result.response_rate:.1%})")
+
+    # 5. The published artefacts: the responsive hitlist and the aliased prefixes.
+    clean_stats = coverage_stats(clean, internet)
+    responsive_stats = coverage_stats(sorted(responsive, key=lambda a: a.value), internet)
+    print(f"\nDe-aliasing flattens the AS distribution: top AS "
+          f"{stats.top_as_share:.1%} -> {clean_stats.top_as_share:.1%}")
+    print(f"Curated hitlist: {responsive_stats.num_addresses:,} responsive addresses over "
+          f"{responsive_stats.num_ases} ASes and {responsive_stats.num_prefixes} prefixes")
+
+
+if __name__ == "__main__":
+    main()

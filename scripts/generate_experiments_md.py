@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: paper-reported vs measured, for every table/figure.
+
+Runs the full experiment registry over the default experiment configuration
+and writes EXPERIMENTS.md with, per experiment, the paper's reported values,
+the qualitative expectation ("what shape must hold"), and the measured report
+produced by this reproduction.
+
+Run with:  python scripts/generate_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import run_all
+from repro.experiments.context import DEFAULT_EXPERIMENT_CONFIG, ExperimentContext
+
+OUTPUT = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+
+#: Per-experiment: (title, what the paper reports, what must hold in the reproduction).
+PAPER_EXPECTATIONS: dict[str, tuple[str, str, str]] = {
+    "table1": (
+        "Table 1 — comparison with previous hitlist studies",
+        "This work: 55.1 M public addresses, 25.5 k prefixes, 10.9 k ASes, probing + full APD; "
+        "prior works are smaller, partly private, and at most partial APD.",
+        "Our pipeline row has the widest AS/prefix coverage of any public-source row and is the only one with full APD.",
+    ),
+    "table2": (
+        "Table 2 — hitlist source overview",
+        "Domain lists 9.8 M / FDNS 2.5 M / CT 16.2 M / AXFR 0.5 M / Bitnodes 27 k / RIPE Atlas 0.2 M / scamper 25.9 M new IPs; "
+        "top-AS share 89.7 % (DL), 92.3 % (CT), 16.7 % (FDNS), 6.6 % (RIPE Atlas).",
+        "Same ranking of source sizes and the same concentration contrast: DNS-derived sources extremely top-heavy, RIPE Atlas balanced.",
+    ),
+    "fig1": (
+        "Figure 1 — source run-up, AS distribution CDFs, hitlist zesplot",
+        "All sources grow 10-100x over a year (scamper fastest); DL/CT need only a handful of ASes for most addresses; "
+        "the hitlist covers about half of announced BGP prefixes.",
+        "Monotone run-up with strong growth, same per-source concentration ordering, a large fraction of announced prefixes covered.",
+    ),
+    "fig2": (
+        "Figure 2 — entropy clustering of /32 prefixes",
+        "6 clusters on full-address fingerprints, 4 on IID-only; most popular clusters are low-entropy counters, then random IIDs, then EUI-64.",
+        "A single-digit number of clusters for both spans; a popular low-entropy (counter) cluster exists; IID clustering is at most as fine-grained.",
+    ),
+    "fig3": (
+        "Figure 3 — clusters of DNS responders and cluster map over BGP prefixes",
+        "UDP/53 responders fall into 6 mostly low-entropy clusters; neighbouring prefixes of an AS share clusters.",
+        "Few clusters for DNS responders, most of them low-entropy; every clustered BGP prefix appears in the unsized zesplot.",
+    ),
+    "table3": (
+        "Table 3 — APD fan-out example",
+        "16 pseudo-random addresses for 2001:db8:407:8000::/64, one per /68 branch.",
+        "Exactly 16 targets, nybble 17 enumerates 0..f, all inside the prefix.",
+    ),
+    "table4": (
+        "Table 4 — sliding window vs unstable prefixes",
+        "65 / 26 / 22 / 14 / 14 / 13 unstable prefixes for windows 0..5: a 3-day window removes ~80 % of instability.",
+        "Unstable-prefix count is non-increasing in the window size, with a large drop by window 3.",
+    ),
+    "fig4": (
+        "Figure 4 / §5.3 — AS & prefix distributions, de-aliasing impact",
+        "53.4 % of addresses remain after de-aliasing; only 13 of 10,866 ASes lost; aliased addresses centred on Amazon, "
+        "non-aliased AS distribution flatter, prefix distribution slightly more top-heavy.",
+        "Roughly half the addresses removed, tiny AS-coverage loss, aliased subset more concentrated than the de-aliased rest, which is flatter than the whole.",
+    ),
+    "fig5": (
+        "Figure 5 — ICMP responses with and without APD",
+        "461 of 16 k prefixes (3 %) are aliased, but they are the brightest boxes (Amazon/Incapsula /48 'hook') and dominate raw response volume.",
+        "Aliased prefixes are a minority of response-bearing prefixes yet hold a disproportionate share of raw ICMP responses.",
+    ),
+    "table5": (
+        "Table 5 — fingerprint consistency of aliased prefixes",
+        "Of 20.7 k aliased /64s: 6 inconsistent iTTL, 104 option-text, 105 WScale, 1030 MSS, 1068 WSize (1186 total, ~5 %); 13.2 k pass the timestamp test.",
+        "Only a small share of aliased prefixes is inconsistent; a large share passes the high-confidence timestamp test.",
+    ),
+    "table6": (
+        "Table 6 — validation on non-aliased prefixes",
+        "Non-aliased: 50.4 % inconsistent / 23.8 % consistent; aliased: 5.1 % inconsistent / 63.8 % consistent.",
+        "Aliased prefixes are (much) less inconsistent and more often timestamp-consistent than the validation set.",
+    ),
+    "murdock": (
+        "§5.5 — comparison with Murdock et al.'s /96 baseline",
+        "APD finds 992.6 k additional aliased hitlist addresses; the baseline finds only 1.4 k that APD misses; "
+        "the baseline probes 113.8 M addresses vs APD's 50.1 M.",
+        "APD classifies at least as many (and strictly more) hitlist addresses as aliased; addresses found only by APD far exceed the converse.",
+    ),
+    "fig6": (
+        "Figure 6 — ICMP responses per BGP prefix",
+        "1.9 M responsive addresses over 21,647 prefixes and 9,968 ASes; the response plot mirrors the input plot.",
+        "Responses spread over many prefixes/ASes; a substantial share of input-covered prefixes also yields responses.",
+    ),
+    "fig7": (
+        "Figure 7 — cross-protocol conditional responsiveness",
+        "P(ICMP | any) >= 89 %; QUIC -> HTTPS/HTTP 98 %; HTTPS -> HTTP 91 %; reverse implications much weaker; DNS largely separate.",
+        "ICMP column dominates, QUIC implies HTTPS, HTTPS->HTTP strong, reverse implications weaker.",
+    ),
+    "fig8": (
+        "Figure 8 — responsiveness over time by source",
+        "DL/FDNS/CT/AXFR/RIPE Atlas retain 95-99 % of day-0 responders after two weeks; Bitnodes loses 20 %, scamper 32 %.",
+        "Server-heavy sources stay near 1.0, the CPE/client-heavy scamper source decays the most.",
+    ),
+    "table7": (
+        "Table 7 — protocol mix of learned addresses",
+        "ICMP-only dominates (66.8 % for 6Gen, 41.1 % for Entropy/IP); Entropy/IP responders are 3x more likely to be DNS-only.",
+        "The dominant responder combination includes ICMP for both tools; the tools' mixes differ.",
+    ),
+    "fig9": (
+        "Figure 9 — AS/prefix distribution of responsive generated addresses",
+        "Both tools' responders concentrate in a limited set of ASes (top-2 ASes ~20 % for 6Gen), with different top ASes per tool.",
+        "Responsive generated addresses are top-heavy over ASes for both tools.",
+    ),
+    "table8": (
+        "Table 8 — top rDNS ASes (input, ICMP, TCP/80 responders)",
+        "Top responders are hosting/service providers; 6-9 % SLAAC; 60 % of TCP/80 responders have IID hamming weight <= 6.",
+        "Responding rDNS population is server-like: few SLAAC addresses, low IID hamming weights, provider ASes on top.",
+    ),
+    "fig10": (
+        "Figure 10 / §8 — rDNS vs hitlist distributions and response rates",
+        "11.1 M of 11.7 M rDNS addresses are new; 2.1 M unrouted filtered; rDNS ICMP response rate 10 % vs hitlist 6 %; AS distribution at least as balanced.",
+        "rDNS is mostly new, contains unrouted entries, is no more AS-concentrated than the hitlist, responds at a comparable ICMP rate.",
+    ),
+    "table9": (
+        "Table 9 / §9 — crowdsourced clients",
+        "5781 MTurk / 1186 ProA participants; 31 % / 20.6 % IPv6; top-3 ASes hold >50 % of IPv6 clients; only 17.3 % of client addresses answer ICMPv6 "
+        "(Atlas upper bound 45.8 %); median uptime ~3 h/day, only 7 addresses responsive the whole month.",
+        "MTurk larger, adoption rates in band, client responsiveness low and below the Atlas bound, responsive clients churn within hours.",
+    ),
+}
+
+
+def main() -> None:
+    start = time.time()
+    config = DEFAULT_EXPERIMENT_CONFIG
+    ctx = ExperimentContext(config)
+    print("Running all experiments (this builds the full default-scale pipeline)...", flush=True)
+    outcomes = run_all(ctx)
+    elapsed = time.time() - start
+
+    lines: list[str] = []
+    lines.append("# EXPERIMENTS — paper-reported vs measured")
+    lines.append("")
+    lines.append(
+        "Generated by `python scripts/generate_experiments_md.py` with the default "
+        f"experiment configuration (seed {config.seed}, {config.num_ases} ASes, "
+        f"hitlist target {config.hitlist_target:,}, {config.longitudinal_days}-day campaign). "
+        f"Total runtime: {elapsed:.0f} s."
+    )
+    lines.append("")
+    lines.append(
+        "Absolute numbers are not expected to match the paper (the substrate is a "
+        "laptop-scale simulated Internet, roughly 3-4 orders of magnitude smaller than "
+        "the measured one); each section states the paper's values, the qualitative "
+        "expectation that must hold at any scale, and the measured output of this "
+        "reproduction. The same checks are asserted by `pytest benchmarks/`."
+    )
+    lines.append("")
+    lines.append(f"Hitlist input: {len(ctx.hitlist):,} addresses; "
+                 f"{len(ctx.apd_result.aliased_prefixes):,} aliased prefixes detected; "
+                 f"{len(ctx.day0_responsive):,} addresses responsive on day 0.")
+    lines.append("")
+
+    for experiment_id, (title, paper, expectation) in PAPER_EXPECTATIONS.items():
+        outcome = outcomes.get(experiment_id)
+        lines.append(f"## {experiment_id}: {title}")
+        lines.append("")
+        lines.append(f"**Paper reports.** {paper}")
+        lines.append("")
+        lines.append(f"**Expected shape.** {expectation}")
+        lines.append("")
+        lines.append("**Measured (this reproduction).**")
+        lines.append("")
+        lines.append("```")
+        lines.append(outcome.report if outcome else "(not run)")
+        lines.append("```")
+        lines.append("")
+
+    OUTPUT.write_text("\n".join(lines))
+    print(f"Wrote {OUTPUT} ({len(lines)} lines) in {elapsed:.0f} s")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

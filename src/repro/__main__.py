@@ -1,0 +1,73 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list                      # show all experiment ids
+    python -m repro run fig7                  # run one experiment (default scale)
+    python -m repro run table2 --scale test   # faster, smaller configuration
+    python -m repro run-all --scale test      # everything over one shared context
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.context import (
+    DEFAULT_EXPERIMENT_CONFIG,
+    TEST_EXPERIMENT_CONFIG,
+    ExperimentContext,
+)
+
+_SCALES = {"default": DEFAULT_EXPERIMENT_CONFIG, "test": TEST_EXPERIMENT_CONFIG}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Clusters in the Expanse' (IMC 2018): run the paper's experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run a single experiment and print its report")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run_parser.add_argument(
+        "--scale", choices=sorted(_SCALES), default="default", help="pipeline scale to use"
+    )
+
+    all_parser = subparsers.add_parser("run-all", help="run every experiment over one shared context")
+    all_parser.add_argument(
+        "--scale", choices=sorted(_SCALES), default="default", help="pipeline scale to use"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    config = _SCALES[args.scale]
+    if args.command == "run":
+        outcome = run_experiment(args.experiment, config=config)
+        print(f"== {outcome.experiment_id} ==")
+        print(outcome.report)
+        return 0
+    # run-all
+    ctx = ExperimentContext(config)
+    outcomes = run_all(ctx)
+    for experiment_id, outcome in outcomes.items():
+        print(f"\n== {experiment_id} ==")
+        print(outcome.report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Autonomous system number helpers.
+
+ASes are identified by plain integers throughout the library; this module
+adds a tiny value type for readability in APIs that return AS-level
+aggregates (Table 2, Figure 1b, Figure 4, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class ASN:
+    """An autonomous system number.
+
+    Parameters
+    ----------
+    number:
+        The 32-bit AS number.
+    name:
+        Optional human-readable operator name (e.g. ``"Amazon"``).  The name
+        does not participate in equality or hashing so that ``ASN(1)`` compares
+        equal regardless of labelling.
+    """
+
+    number: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.number < 2**32:
+            raise ValueError(f"AS number out of range: {self.number}")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ASN):
+            return self.number == other.number
+        if isinstance(other, int):
+            return self.number == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.number)
+
+    def __int__(self) -> int:
+        return self.number
+
+    def __str__(self) -> str:
+        return f"AS{self.number}" + (f" ({self.name})" if self.name else "")

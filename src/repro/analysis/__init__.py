@@ -1,0 +1,29 @@
+"""Result analysis: cross-protocol correlation, longitudinal stability and
+method comparisons.
+
+* :mod:`repro.analysis.crossproto` -- conditional response-probability matrix
+  between protocols (Figure 7).
+* :mod:`repro.analysis.longitudinal` -- responsiveness over time per source
+  (Figure 8) and client uptime statistics (Section 9.3).
+* :mod:`repro.analysis.comparison` -- APD-vs-Murdock accounting (Section 5.5)
+  and source overlap statistics.
+"""
+
+from repro.analysis.crossproto import conditional_probability_matrix, protocol_counts
+from repro.analysis.longitudinal import (
+    ResponsivenessTimeline,
+    responsiveness_over_time,
+    uptime_statistics,
+)
+from repro.analysis.comparison import APDComparison, compare_apd_approaches, overlap_stats
+
+__all__ = [
+    "conditional_probability_matrix",
+    "protocol_counts",
+    "ResponsivenessTimeline",
+    "responsiveness_over_time",
+    "uptime_statistics",
+    "APDComparison",
+    "compare_apd_approaches",
+    "overlap_stats",
+]

@@ -1,0 +1,74 @@
+"""Cross-protocol responsiveness analysis (Section 6.2, Figure 7).
+
+Given a multi-protocol sweep, compute the conditional probability that
+protocol Y responds given that protocol X responds:
+
+    P[Y | X] = |responsive(Y) ∩ responsive(X)| / |responsive(X)|
+
+The paper's headline observations: if anything responds, ICMPv6 responds with
+>= 89 % probability; QUIC responders almost surely also serve HTTPS and HTTP;
+DNS responders are a largely separate population.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.addr.address import IPv6Address
+from repro.netmodel.services import ALL_PROTOCOLS, Protocol
+from repro.probing.zmap import ScanResult
+
+
+def _responsive_sets(
+    sweep: Mapping[Protocol, "ScanResult | set[IPv6Address]"],
+) -> dict[Protocol, set[IPv6Address]]:
+    sets: dict[Protocol, set[IPv6Address]] = {}
+    for protocol, value in sweep.items():
+        sets[protocol] = value.responsive if isinstance(value, ScanResult) else set(value)
+    return sets
+
+
+def protocol_counts(
+    sweep: Mapping[Protocol, "ScanResult | set[IPv6Address]"],
+) -> dict[Protocol, int]:
+    """Number of responsive addresses per protocol."""
+    return {protocol: len(addresses) for protocol, addresses in _responsive_sets(sweep).items()}
+
+
+def conditional_probability_matrix(
+    sweep: Mapping[Protocol, "ScanResult | set[IPv6Address]"],
+    protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+) -> dict[Protocol, dict[Protocol, float]]:
+    """P[row protocol responds | column protocol responds].
+
+    Returned as ``matrix[y][x] = P(Y | X)``; the diagonal is 1 whenever the
+    column protocol has any responders.
+    """
+    sets = _responsive_sets(sweep)
+    matrix: dict[Protocol, dict[Protocol, float]] = {}
+    for y in protocols:
+        row: dict[Protocol, float] = {}
+        responsive_y = sets.get(y, set())
+        for x in protocols:
+            responsive_x = sets.get(x, set())
+            if not responsive_x:
+                row[x] = 0.0
+            else:
+                row[x] = len(responsive_y & responsive_x) / len(responsive_x)
+        matrix[y] = row
+    return matrix
+
+
+def icmp_given_any(sweep: Mapping[Protocol, "ScanResult | set[IPv6Address]"]) -> float:
+    """P(ICMP responds | the address responds on some protocol).
+
+    This is the paper's ">= 89 % of responsive addresses also answer ICMPv6"
+    statistic, computed over the union of all responders.
+    """
+    sets = _responsive_sets(sweep)
+    everything: set[IPv6Address] = set()
+    for addresses in sets.values():
+        everything |= addresses
+    if not everything:
+        return 0.0
+    return len(sets.get(Protocol.ICMP, set()) & everything) / len(everything)

@@ -1,0 +1,96 @@
+"""Longitudinal responsiveness analysis (Section 6.3, Figure 8; Section 9.3).
+
+Figure 8 tracks, per source (and per protocol for the flaky QUIC cases), the
+fraction of day-0-responsive addresses that still respond on each subsequent
+day.  Section 9.3 reports uptime statistics of crowdsourced client addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, median
+from typing import Mapping, Sequence
+
+from repro.addr.address import IPv6Address
+from repro.netmodel.services import Protocol
+from repro.probing.scheduler import DailyScanResult
+
+
+@dataclass(slots=True)
+class ResponsivenessTimeline:
+    """Retention of day-0 responders over the campaign for one group."""
+
+    group: str
+    days: list[int]
+    baseline_size: int
+    retention: list[float] = field(default_factory=list)
+
+    @property
+    def final_retention(self) -> float:
+        """Share of the baseline still responsive on the last day."""
+        return self.retention[-1] if self.retention else 0.0
+
+    @property
+    def loss(self) -> float:
+        """Share of the baseline lost by the last day."""
+        return 1.0 - self.final_retention if self.retention else 0.0
+
+
+def responsiveness_over_time(
+    campaign: Sequence[DailyScanResult],
+    groups: Mapping[str, Sequence[IPv6Address]],
+    protocol: Protocol | None = None,
+) -> list[ResponsivenessTimeline]:
+    """Figure 8: per-group retention of day-0 responders over the campaign.
+
+    ``groups`` maps a label (source name, optionally suffixed by protocol) to
+    the addresses attributed to it.  The baseline for each group is the subset
+    of its addresses responsive on the campaign's first day.
+    """
+    if not campaign:
+        raise ValueError("campaign must contain at least one daily result")
+    timelines: list[ResponsivenessTimeline] = []
+    days = [result.day for result in campaign]
+
+    def responsive_set(result: DailyScanResult) -> set[IPv6Address]:
+        return result.responsive_on(protocol) if protocol else result.responsive_any
+
+    first = responsive_set(campaign[0])
+    for label, addresses in groups.items():
+        baseline = {a for a in addresses if a in first}
+        timeline = ResponsivenessTimeline(group=label, days=days, baseline_size=len(baseline))
+        for result in campaign:
+            responsive = responsive_set(result)
+            if baseline:
+                timeline.retention.append(len(baseline & responsive) / len(baseline))
+            else:
+                timeline.retention.append(0.0)
+        timelines.append(timeline)
+    return timelines
+
+
+@dataclass(frozen=True, slots=True)
+class UptimeStats:
+    """Client uptime statistics (Section 9.3)."""
+
+    count: int
+    mean_hours: float
+    median_hours: float
+    share_under_one_hour: float
+    share_under_eight_hours: float
+    share_full_month: float
+
+
+def uptime_statistics(uptime_hours: Sequence[float], month_hours: float = 24.0 * 30) -> UptimeStats:
+    """Summarise responsive-client uptimes as the paper does."""
+    if not uptime_hours:
+        return UptimeStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    count = len(uptime_hours)
+    return UptimeStats(
+        count=count,
+        mean_hours=float(mean(uptime_hours)),
+        median_hours=float(median(uptime_hours)),
+        share_under_one_hour=sum(1 for h in uptime_hours if h < 1.0) / count,
+        share_under_eight_hours=sum(1 for h in uptime_hours if h <= 8.0) / count,
+        share_full_month=sum(1 for h in uptime_hours if h >= month_hours) / count,
+    )

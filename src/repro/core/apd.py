@@ -1,0 +1,217 @@
+"""Multi-level aliased prefix detection (Section 5).
+
+For every candidate prefix the detector sends 16 probes, one to a
+pseudo-random address in each 4-bit subprefix (the fan-out of Table 3), on
+both ICMPv6 and TCP/80.  An address counts as responsive when either protocol
+answers (cross-protocol merging, Section 5.2); a prefix is labelled aliased
+when all 16 fan-out addresses are responsive.  Detection runs at multiple
+prefix lengths -- every length from /64 to /124 in 4-bit steps that covers
+more than ``min_targets_per_prefix`` hitlist addresses, plus all /64s -- and
+the final per-address classification uses longest-prefix matching over the
+probed prefixes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.addr.address import IPv6Address
+from repro.addr.generate import FANOUT, fanout_targets
+from repro.addr.prefix import IPv6Prefix
+from repro.addr.trie import PrefixTrie
+from repro.netmodel.internet import SimulatedInternet
+from repro.netmodel.services import Protocol
+
+
+@dataclass(frozen=True, slots=True)
+class APDConfig:
+    """Parameters of the multi-level aliased prefix detection."""
+
+    #: Prefix lengths at which hitlist addresses are aggregated (4-bit steps).
+    prefix_lengths: tuple[int, ...] = tuple(range(64, 125, 4))
+    #: Only prefixes with more than this many hitlist addresses are probed ...
+    min_targets_per_prefix: int = 100
+    #: ... except /64 prefixes, which are always probed ("full analysis of all
+    #: known /64 prefixes").
+    always_probe_64: bool = True
+    #: Protocols whose responses are merged (Section 5.2).
+    protocols: tuple[Protocol, ...] = (Protocol.ICMP, Protocol.TCP80)
+    #: Number of fan-out probes per prefix and protocol.
+    fanout: int = FANOUT
+    #: Number of responsive fan-out addresses required to call a prefix aliased.
+    aliased_threshold: int = FANOUT
+
+
+@dataclass(slots=True)
+class PrefixProbeOutcome:
+    """Probe outcome for one candidate prefix on one day."""
+
+    prefix: IPv6Prefix
+    day: int
+    targets: list[IPv6Address]
+    #: Per-branch (0..15) set of protocols that answered.
+    branch_responses: list[set[Protocol]] = field(default_factory=list)
+
+    @property
+    def responsive_branches(self) -> set[int]:
+        """Branch indices whose target answered on at least one protocol."""
+        return {i for i, protocols in enumerate(self.branch_responses) if protocols}
+
+    @property
+    def num_responsive(self) -> int:
+        return len(self.responsive_branches)
+
+    @property
+    def is_aliased(self) -> bool:
+        """All fan-out branches responded -> the prefix is labelled aliased."""
+        return self.num_responsive >= len(self.targets) and bool(self.targets)
+
+    @property
+    def probes_sent(self) -> int:
+        """Number of probe packets sent for this prefix (16 per protocol)."""
+        return len(self.targets) * 2  # ICMPv6 + TCP/80
+
+
+@dataclass(slots=True)
+class APDResult:
+    """Result of one APD run: per-prefix outcomes and the aliased filter."""
+
+    day: int
+    outcomes: dict[IPv6Prefix, PrefixProbeOutcome] = field(default_factory=dict)
+    _trie: PrefixTrie | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def probed_prefixes(self) -> list[IPv6Prefix]:
+        return list(self.outcomes)
+
+    @property
+    def aliased_prefixes(self) -> list[IPv6Prefix]:
+        """All prefixes labelled aliased."""
+        return [p for p, o in self.outcomes.items() if o.is_aliased]
+
+    @property
+    def non_aliased_prefixes(self) -> list[IPv6Prefix]:
+        return [p for p, o in self.outcomes.items() if not o.is_aliased]
+
+    @property
+    def probes_sent(self) -> int:
+        """Total probe packets sent."""
+        return sum(o.probes_sent for o in self.outcomes.values())
+
+    @property
+    def addresses_probed(self) -> int:
+        """Total distinct target addresses probed."""
+        return sum(len(o.targets) for o in self.outcomes.values())
+
+    def _ensure_trie(self) -> PrefixTrie:
+        if self._trie is None:
+            trie: PrefixTrie[bool] = PrefixTrie()
+            for prefix, outcome in self.outcomes.items():
+                trie.insert(prefix, outcome.is_aliased)
+            self._trie = trie
+        return self._trie
+
+    def is_aliased(self, address: "IPv6Address | int | str") -> bool:
+        """Longest-prefix-match classification of one address.
+
+        The most specific probed prefix covering the address decides: this is
+        what lets small non-aliased subprefixes survive inside aliased
+        covering prefixes (the /116 anomaly of Section 5.1).
+        """
+        verdict = self._ensure_trie().lookup(address)
+        return bool(verdict)
+
+    def filter_non_aliased(self, addresses: Iterable[IPv6Address]) -> list[IPv6Address]:
+        """Addresses that do NOT fall into an aliased prefix (scan input)."""
+        return [a for a in addresses if not self.is_aliased(a)]
+
+    def split(self, addresses: Iterable[IPv6Address]) -> tuple[list[IPv6Address], list[IPv6Address]]:
+        """Split addresses into (aliased, non-aliased) by longest-prefix match."""
+        aliased: list[IPv6Address] = []
+        clean: list[IPv6Address] = []
+        for address in addresses:
+            (aliased if self.is_aliased(address) else clean).append(address)
+        return aliased, clean
+
+
+class AliasedPrefixDetector:
+    """The paper's multi-level APD over the simulated Internet."""
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        config: APDConfig = APDConfig(),
+        seed: int = 0,
+    ):
+        self.internet = internet
+        self.config = config
+        self._rng = random.Random(seed)
+
+    # -- candidate selection ----------------------------------------------------
+
+    def candidate_prefixes(
+        self,
+        addresses: Sequence[IPv6Address],
+        extra_prefixes: Iterable[IPv6Prefix] = (),
+    ) -> list[IPv6Prefix]:
+        """Prefixes to probe for a hitlist (Section 5.1).
+
+        Hitlist addresses are mapped to every length in ``prefix_lengths``;
+        a prefix qualifies when it covers more than ``min_targets_per_prefix``
+        addresses, except /64s which always qualify.  ``extra_prefixes``
+        (e.g. BGP announcements) are probed as given.
+        """
+        counts: dict[IPv6Prefix, int] = {}
+        for address in addresses:
+            for length in self.config.prefix_lengths:
+                prefix = IPv6Prefix.of(address, length)
+                counts[prefix] = counts.get(prefix, 0) + 1
+        candidates: list[IPv6Prefix] = []
+        for prefix, count in counts.items():
+            if count > self.config.min_targets_per_prefix:
+                candidates.append(prefix)
+            elif prefix.length == 64 and self.config.always_probe_64:
+                candidates.append(prefix)
+        for prefix in extra_prefixes:
+            if prefix not in candidates:
+                candidates.append(prefix)
+        return sorted(candidates)
+
+    # -- probing -----------------------------------------------------------------
+
+    def probe_prefix(self, prefix: IPv6Prefix, day: int = 0) -> PrefixProbeOutcome:
+        """Probe one prefix with the 16-branch fan-out on ICMPv6 and TCP/80."""
+        targets = fanout_targets(prefix, self._rng, self.config.fanout)
+        outcome = PrefixProbeOutcome(prefix=prefix, day=day, targets=targets)
+        for target in targets:
+            answered: set[Protocol] = set()
+            for protocol in self.config.protocols:
+                reply = self.internet.probe(target, protocol, day, rng=self._rng)
+                if reply is not None:
+                    answered.add(protocol)
+            outcome.branch_responses.append(answered)
+        return outcome
+
+    def run(
+        self,
+        addresses: Sequence[IPv6Address] = (),
+        prefixes: Iterable[IPv6Prefix] = (),
+        day: int = 0,
+    ) -> APDResult:
+        """Run APD for a hitlist and/or an explicit prefix list on one day."""
+        candidates = self.candidate_prefixes(addresses, extra_prefixes=prefixes)
+        result = APDResult(day=day)
+        for prefix in candidates:
+            result.outcomes[prefix] = self.probe_prefix(prefix, day)
+        return result
+
+    def run_window(
+        self,
+        addresses: Sequence[IPv6Address],
+        days: Sequence[int],
+        prefixes: Iterable[IPv6Prefix] = (),
+    ) -> "Mapping[int, APDResult]":
+        """Run APD daily over several days (input to the sliding window)."""
+        return {day: self.run(addresses, prefixes, day) for day in days}

@@ -1,0 +1,274 @@
+"""Entropy clustering: k-means over entropy fingerprints (Section 4).
+
+The paper clusters per-network fingerprints with k-means, selects k with the
+elbow method on the sum of squared errors (Eq. 6), and summarises each
+cluster by its popularity and per-nybble median entropy (Figure 2).
+
+k-means is implemented here directly (numpy only) with k-means++ seeding and
+multiple restarts, so the library has no dependency on an external ML stack.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.addr.prefix import IPv6Prefix, group_by_prefix
+from repro.core.entropy import (
+    FULL_SPAN,
+    MIN_ADDRESSES,
+    EntropyFingerprint,
+    entropy_fingerprint,
+    median_profile,
+)
+
+
+@dataclass(slots=True)
+class KMeansResult:
+    """Outcome of one k-means run."""
+
+    k: int
+    centroids: np.ndarray
+    labels: np.ndarray
+    sse: float
+    iterations: int
+
+    def cluster_sizes(self) -> list[int]:
+        """Number of points per cluster, indexed by cluster id."""
+        return [int((self.labels == i).sum()) for i in range(self.k)]
+
+
+def _kmeans_plus_plus(data: np.ndarray, k: int, rng: random.Random) -> np.ndarray:
+    """k-means++ centroid seeding."""
+    n = data.shape[0]
+    centroids = [data[rng.randrange(n)]]
+    for _ in range(1, k):
+        distances = np.min(
+            np.stack([np.sum((data - c) ** 2, axis=1) for c in centroids]), axis=0
+        )
+        total = float(distances.sum())
+        if total == 0:
+            centroids.append(data[rng.randrange(n)])
+            continue
+        threshold = rng.random() * total
+        cumulative = np.cumsum(distances)
+        index = int(np.searchsorted(cumulative, threshold))
+        centroids.append(data[min(index, n - 1)])
+    return np.vstack(centroids)
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 200,
+    restarts: int = 5,
+) -> KMeansResult:
+    """Lloyd's k-means with k-means++ seeding and several restarts.
+
+    Returns the restart with the lowest sum of squared errors.
+    """
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValueError("data must be a non-empty 2-D array")
+    if not 1 <= k <= data.shape[0]:
+        raise ValueError(f"k={k} out of range for {data.shape[0]} points")
+    rng = random.Random(seed)
+    best: KMeansResult | None = None
+    for _ in range(restarts):
+        centroids = _kmeans_plus_plus(data, k, rng)
+        labels = np.zeros(data.shape[0], dtype=int)
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            distances = np.stack([np.sum((data - c) ** 2, axis=1) for c in centroids])
+            new_labels = np.argmin(distances, axis=0)
+            if iterations > 1 and np.array_equal(new_labels, labels):
+                labels = new_labels
+                break
+            labels = new_labels
+            for i in range(k):
+                members = data[labels == i]
+                if len(members):
+                    centroids[i] = members.mean(axis=0)
+        sse = float(np.sum((data - centroids[labels]) ** 2))
+        result = KMeansResult(k=k, centroids=centroids.copy(), labels=labels.copy(), sse=sse, iterations=iterations)
+        if best is None or result.sse < best.sse:
+            best = result
+    assert best is not None
+    return best
+
+
+def sse_curve(data: np.ndarray, k_values: Sequence[int], seed: int = 0) -> dict[int, float]:
+    """Sum of squared errors for each candidate k (Eq. 6)."""
+    return {k: kmeans(data, k, seed=seed).sse for k in k_values if k <= data.shape[0]}
+
+
+def elbow_k(sse_by_k: Mapping[int, float]) -> int:
+    """Pick k at the "elbow" of the SSE curve.
+
+    The elbow is found with the maximum-distance-to-chord heuristic: the k
+    whose (k, SSE) point lies farthest from the straight line connecting the
+    first and last points of the curve.  For monotone convex curves this picks
+    the visually obvious elbow the paper selects by hand.
+    """
+    if not sse_by_k:
+        raise ValueError("empty SSE curve")
+    ks = sorted(sse_by_k)
+    if len(ks) <= 2:
+        return ks[0]
+    k_first, k_last = ks[0], ks[-1]
+    sse_first, sse_last = sse_by_k[k_first], sse_by_k[k_last]
+    span = sse_first - sse_last or 1.0
+    best_k, best_distance = ks[0], -1.0
+    for k in ks:
+        # Normalise both axes to [0, 1] before measuring the distance.
+        x = (k - k_first) / (k_last - k_first)
+        y = (sse_by_k[k] - sse_last) / span
+        # Distance from the point to the chord y = 1 - x.
+        distance = abs(x + y - 1.0) / np.sqrt(2.0)
+        # Strictly-better comparison with a tolerance so that flat curves
+        # (no real elbow) resolve to the smallest k instead of numeric noise.
+        if distance > best_distance + 1e-9:
+            best_k, best_distance = k, distance
+    return best_k
+
+
+@dataclass(slots=True)
+class ClusterSummary:
+    """One cluster of networks: popularity and median entropy profile."""
+
+    cluster_id: int
+    networks: list[str]
+    popularity: float
+    median_entropies: list[float]
+
+    @property
+    def size(self) -> int:
+        return len(self.networks)
+
+
+@dataclass(slots=True)
+class ClusteringResult:
+    """Full entropy-clustering outcome for one fingerprint span."""
+
+    span: tuple[int, int]
+    k: int
+    fingerprints: list[EntropyFingerprint]
+    labels: list[int]
+    sse_by_k: dict[int, float]
+    clusters: list[ClusterSummary] = field(default_factory=list)
+
+    @property
+    def num_networks(self) -> int:
+        return len(self.fingerprints)
+
+    def label_of(self, network: str) -> int | None:
+        """Cluster id (1-based, ordered by popularity) of one network."""
+        for fingerprint, label in zip(self.fingerprints, self.labels):
+            if fingerprint.network == network:
+                return label
+        return None
+
+
+class EntropyClustering:
+    """Cluster networks of a hitlist by their entropy fingerprints."""
+
+    def __init__(
+        self,
+        span: tuple[int, int] = FULL_SPAN,
+        min_addresses: int = MIN_ADDRESSES,
+        candidate_ks: Sequence[int] = tuple(range(1, 21)),
+        seed: int = 0,
+    ):
+        self.span = span
+        self.min_addresses = min_addresses
+        self.candidate_ks = tuple(candidate_ks)
+        self.seed = seed
+
+    # -- fingerprint extraction ------------------------------------------------
+
+    def fingerprints_by_prefix(
+        self, addresses: Sequence, prefix_length: int = 32
+    ) -> list[EntropyFingerprint]:
+        """Group addresses into prefixes of *prefix_length* and fingerprint
+        every group with at least ``min_addresses`` members."""
+        groups = group_by_prefix(addresses, prefix_length)
+        fingerprints = []
+        for prefix, members in sorted(groups.items()):
+            if len(members) < self.min_addresses:
+                continue
+            fingerprints.append(
+                entropy_fingerprint(str(prefix), members, span=self.span, enforce_minimum=False)
+            )
+        return fingerprints
+
+    def fingerprints_by_group(
+        self, groups: Mapping[str, Sequence]
+    ) -> list[EntropyFingerprint]:
+        """Fingerprint arbitrary, caller-defined groups (e.g. per AS)."""
+        fingerprints = []
+        for name, members in sorted(groups.items()):
+            if len(members) < self.min_addresses:
+                continue
+            fingerprints.append(
+                entropy_fingerprint(name, list(members), span=self.span, enforce_minimum=False)
+            )
+        return fingerprints
+
+    # -- clustering --------------------------------------------------------------
+
+    def cluster(
+        self, fingerprints: Sequence[EntropyFingerprint], k: int | None = None
+    ) -> ClusteringResult:
+        """Cluster fingerprints; choose k by the elbow method unless given."""
+        if not fingerprints:
+            raise ValueError("no fingerprints to cluster")
+        data = np.vstack([f.as_array() for f in fingerprints])
+        usable_ks = [x for x in self.candidate_ks if x <= len(fingerprints)]
+        sse_by_k = sse_curve(data, usable_ks, seed=self.seed)
+        chosen_k = k if k is not None else elbow_k(sse_by_k)
+        chosen_k = min(chosen_k, len(fingerprints))
+        result = kmeans(data, chosen_k, seed=self.seed)
+        return self._summarise(fingerprints, result, sse_by_k)
+
+    def cluster_prefixes(
+        self, addresses: Sequence, prefix_length: int = 32, k: int | None = None
+    ) -> ClusteringResult:
+        """Convenience: fingerprint /``prefix_length`` groups and cluster them."""
+        return self.cluster(self.fingerprints_by_prefix(addresses, prefix_length), k=k)
+
+    # -- summaries ---------------------------------------------------------------
+
+    def _summarise(
+        self,
+        fingerprints: Sequence[EntropyFingerprint],
+        result: KMeansResult,
+        sse_by_k: dict[int, float],
+    ) -> ClusteringResult:
+        # Order clusters by popularity (most popular first), relabel 1-based.
+        raw_sizes = [(i, int((result.labels == i).sum())) for i in range(result.k)]
+        ordering = [i for i, _ in sorted(raw_sizes, key=lambda kv: kv[1], reverse=True)]
+        relabel = {old: new + 1 for new, old in enumerate(ordering)}
+        total = len(fingerprints)
+        clusters: list[ClusterSummary] = []
+        for old_id in ordering:
+            members = [f for f, lbl in zip(fingerprints, result.labels) if lbl == old_id]
+            clusters.append(
+                ClusterSummary(
+                    cluster_id=relabel[old_id],
+                    networks=[f.network for f in members],
+                    popularity=len(members) / total,
+                    median_entropies=median_profile(members),
+                )
+            )
+        labels = [relabel[int(lbl)] for lbl in result.labels]
+        return ClusteringResult(
+            span=self.span,
+            k=result.k,
+            fingerprints=list(fingerprints),
+            labels=labels,
+            sse_by_k=dict(sse_by_k),
+            clusters=clusters,
+        )

@@ -1,0 +1,187 @@
+"""Fingerprint consistency tests for aliased prefixes (Section 5.4).
+
+For every prefix classified as aliased (all 16 APD probes to TCP/80 answered)
+the paper probes the 16 fan-out addresses twice with the TCP options module
+and checks whether the replies behave like a single machine:
+
+* **iTTL** -- differing initial TTLs are a negative indicator,
+* **Optionstext** -- differing TCP option strings,
+* **WScale / WSize / MSS** -- differing TCP window scale / size / MSS,
+* **Timestamps** -- a prefix is *consistent* when all hosts report the same
+  TSval, when TSvals are monotonic across the prefix in probe order, or when
+  receive time vs. TSval fits a linear counter with R^2 > 0.8; a failed
+  timestamp test is merely *indecisive* (modern Linux randomises offsets).
+
+Tables 5 and 6 summarise the per-test inconsistency counts for aliased
+prefixes and the validation run on non-aliased prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.addr.prefix import IPv6Prefix
+from repro.probing.fingerprint import FingerprintRecord
+
+#: Order in which tests are reported (matches Table 5).
+TEST_ORDER: tuple[str, ...] = ("ittl", "optionstext", "wscale", "mss", "wsize")
+
+
+@dataclass(slots=True)
+class PrefixConsistency:
+    """Consistency evaluation of one prefix."""
+
+    prefix: IPv6Prefix
+    responding_addresses: int
+    #: Per-test verdicts: True = inconsistent behaviour observed.
+    inconsistent_tests: dict[str, bool] = field(default_factory=dict)
+    #: Timestamp verdict: True = passes one of the single-machine timestamp
+    #: checks, False = fails them (indecisive), None = no timestamps at all.
+    timestamp_consistent: bool | None = None
+
+    @property
+    def is_inconsistent(self) -> bool:
+        """At least one non-timestamp test observed differing behaviour."""
+        return any(self.inconsistent_tests.values())
+
+    @property
+    def is_consistent(self) -> bool:
+        """No inconsistency and the high-confidence timestamp test passed."""
+        return not self.is_inconsistent and bool(self.timestamp_consistent)
+
+    @property
+    def is_indecisive(self) -> bool:
+        """No inconsistency but the timestamp test failed or was unavailable."""
+        return not self.is_inconsistent and not self.timestamp_consistent
+
+
+@dataclass(slots=True)
+class ConsistencyReport:
+    """Aggregate of consistency evaluations over many prefixes (Tables 5-6)."""
+
+    prefixes: list[PrefixConsistency] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    def inconsistent_per_test(self) -> dict[str, int]:
+        """Per-test count of prefixes with differing behaviour (Table 5 "Incs.")."""
+        return {
+            test: sum(1 for p in self.prefixes if p.inconsistent_tests.get(test, False))
+            for test in TEST_ORDER
+        }
+
+    def cumulative_inconsistent(self) -> dict[str, int]:
+        """Running total of inconsistent prefixes as tests are added (Table 5 "Σ Incs.")."""
+        counts: dict[str, int] = {}
+        flagged: set[int] = set()
+        for test in TEST_ORDER:
+            for index, prefix in enumerate(self.prefixes):
+                if prefix.inconsistent_tests.get(test, False):
+                    flagged.add(index)
+            counts[test] = len(flagged)
+        return counts
+
+    def consistent_after_each_test(self) -> dict[str, int]:
+        """Prefixes still fully consistent after each test (Table 5 "Σ Cons.")."""
+        total = len(self.prefixes)
+        cumulative = self.cumulative_inconsistent()
+        return {test: total - cumulative[test] for test in TEST_ORDER}
+
+    def timestamp_consistent_count(self) -> int:
+        """Prefixes passing the high-confidence timestamp test."""
+        return sum(1 for p in self.prefixes if p.is_consistent)
+
+    def shares(self) -> dict[str, float]:
+        """Inconsistent / consistent / indecisive shares (Table 6 rows)."""
+        total = len(self.prefixes) or 1
+        return {
+            "inconsistent": sum(p.is_inconsistent for p in self.prefixes) / total,
+            "consistent": sum(p.is_consistent for p in self.prefixes) / total,
+            "indecisive": sum(p.is_indecisive for p in self.prefixes) / total,
+        }
+
+
+class ConsistencyChecker:
+    """Evaluate fingerprint records of fan-out addresses per prefix."""
+
+    def __init__(self, r_squared_threshold: float = 0.8, min_responses: int = 2):
+        self.r_squared_threshold = r_squared_threshold
+        self.min_responses = min_responses
+
+    # -- single prefix -------------------------------------------------------
+
+    def evaluate_prefix(
+        self, prefix: IPv6Prefix, records: Sequence[FingerprintRecord]
+    ) -> PrefixConsistency:
+        """Evaluate all consistency tests for one prefix's fan-out records."""
+        responding = [r for r in records if r.responded]
+        result = PrefixConsistency(prefix=prefix, responding_addresses=len(responding))
+        result.inconsistent_tests = {
+            "ittl": self._values_differ([t for r in responding for t in r.ittls]),
+            "optionstext": self._values_differ(
+                [o for r in responding for o in r.options_texts]
+            ),
+            "wscale": self._values_differ([v for r in responding for v in r.window_scales]),
+            "mss": self._values_differ([v for r in responding for v in r.mss_values]),
+            "wsize": self._values_differ([v for r in responding for v in r.window_sizes]),
+        }
+        result.timestamp_consistent = self._timestamps_consistent(responding)
+        return result
+
+    def evaluate_many(
+        self, records_by_prefix: Mapping[IPv6Prefix, Sequence[FingerprintRecord]]
+    ) -> ConsistencyReport:
+        """Evaluate a whole set of prefixes (one Table 5 / Table 6 run)."""
+        report = ConsistencyReport()
+        for prefix, records in records_by_prefix.items():
+            report.prefixes.append(self.evaluate_prefix(prefix, records))
+        return report
+
+    # -- individual tests ------------------------------------------------------
+
+    @staticmethod
+    def _values_differ(values: Iterable) -> bool:
+        observed = {v for v in values if v is not None}
+        return len(observed) > 1
+
+    def _timestamps_consistent(self, records: Sequence[FingerprintRecord]) -> bool | None:
+        """The three timestamp checks of Section 5.4.
+
+        Returns True when any check passes, False when timestamps exist but
+        all checks fail, None when there are not enough timestamped replies.
+        """
+        samples: list[tuple[float, int]] = []
+        for record in records:
+            samples.extend(record.timestamps)
+        if len(samples) < self.min_responses:
+            return None
+        samples.sort(key=lambda pair: pair[0])
+        tsvals = [ts for _, ts in samples]
+        # (1) all hosts send the same timestamp value.
+        if len(set(tsvals)) == 1:
+            return True
+        # (2) timestamps are monotonic across the whole prefix in probe order.
+        if all(a <= b for a, b in zip(tsvals, tsvals[1:])):
+            return True
+        # (3) receive time vs. TSval fits a global linear counter (R^2 > 0.8).
+        if self._r_squared(samples) > self.r_squared_threshold:
+            return True
+        return False
+
+    @staticmethod
+    def _r_squared(samples: Sequence[tuple[float, int]]) -> float:
+        """Coefficient of determination of TSval as a linear function of time."""
+        if len(samples) < 3:
+            return 0.0
+        x = np.array([t for t, _ in samples], dtype=float)
+        y = np.array([v for _, v in samples], dtype=float)
+        if np.ptp(x) == 0 or np.ptp(y) == 0:
+            return 0.0
+        correlation = np.corrcoef(x, y)[0, 1]
+        if np.isnan(correlation):
+            return 0.0
+        return float(correlation**2)

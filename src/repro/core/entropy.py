@@ -1,0 +1,151 @@
+"""Nybble entropy fingerprints (Section 4, Equations 1-5).
+
+Given a set of IPv6 addresses of one network (a /32, a BGP prefix or an AS),
+the fingerprint ``F_ab`` is the vector of normalised Shannon entropies of
+nybbles ``a..b`` computed across the set:
+
+    H(X_j) = -1/4 * sum_w P(X_j = w) * log2 P(X_j = w)
+
+so that ``H = 0`` means the nybble is constant across the network and
+``H = 1`` means all 16 values are equally likely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.addr.address import IPv6Address, NYBBLES, nybbles_of
+
+#: The paper's minimum sample size per network (Eq. 1: n >= 100).
+MIN_ADDRESSES = 100
+
+#: Fingerprint over the whole address as used for Figure 2a (nybbles 9..32 --
+#: the first 8 nybbles are the allocation's own /32 prefix and carry no
+#: information within a /32).
+FULL_SPAN = (9, 32)
+
+#: Fingerprint over the interface identifier only (Figure 2b).
+IID_SPAN = (17, 32)
+
+
+@dataclass(frozen=True, slots=True)
+class EntropyFingerprint:
+    """An entropy fingerprint ``F_ab`` of one network."""
+
+    network: str
+    first_nybble: int
+    last_nybble: int
+    entropies: tuple[float, ...]
+    sample_size: int
+
+    def __post_init__(self) -> None:
+        expected = self.last_nybble - self.first_nybble + 1
+        if len(self.entropies) != expected:
+            raise ValueError(
+                f"expected {expected} entropy values for span "
+                f"{self.first_nybble}..{self.last_nybble}, got {len(self.entropies)}"
+            )
+
+    def as_array(self) -> np.ndarray:
+        """The fingerprint as a float vector (for clustering)."""
+        return np.asarray(self.entropies, dtype=float)
+
+    @property
+    def span(self) -> tuple[int, int]:
+        return (self.first_nybble, self.last_nybble)
+
+    @property
+    def mean_entropy(self) -> float:
+        """Average entropy across the span."""
+        return float(np.mean(self.entropies)) if self.entropies else 0.0
+
+    def __len__(self) -> int:
+        return len(self.entropies)
+
+
+def nybble_entropies(
+    addresses: Iterable["IPv6Address | int | str"],
+    first_nybble: int = 1,
+    last_nybble: int = NYBBLES,
+) -> list[float]:
+    """Normalised Shannon entropy of each nybble position across *addresses*.
+
+    This is Eq. 5 of the paper evaluated for nybbles ``first..last`` (1-based,
+    inclusive).  The computation is vectorised: addresses are converted to a
+    (n, span) matrix of nybble values and entropies are computed per column.
+    """
+    if not 1 <= first_nybble <= last_nybble <= NYBBLES:
+        raise ValueError(f"invalid nybble span {first_nybble}..{last_nybble}")
+    rows = [nybbles_of(a) for a in addresses]
+    if not rows:
+        raise ValueError("at least one address is required")
+    span = slice(first_nybble - 1, last_nybble)
+    matrix = np.array([[int(c, 16) for c in text[span]] for text in rows], dtype=np.int8)
+    entropies: list[float] = []
+    n = matrix.shape[0]
+    for column in matrix.T:
+        counts = np.bincount(column, minlength=16).astype(float)
+        probabilities = counts[counts > 0] / n
+        entropy = float(-(probabilities * np.log2(probabilities)).sum()) / 4.0
+        entropies.append(entropy)
+    return entropies
+
+
+def entropy_fingerprint(
+    network: str,
+    addresses: Sequence["IPv6Address | int | str"],
+    span: tuple[int, int] = FULL_SPAN,
+    min_addresses: int = MIN_ADDRESSES,
+    enforce_minimum: bool = True,
+) -> EntropyFingerprint:
+    """Compute the fingerprint ``F_ab`` for one network.
+
+    The paper requires at least 100 addresses per network (Eq. 1); pass
+    ``enforce_minimum=False`` to compute fingerprints for smaller samples
+    (useful for exploratory analysis at other aggregation levels).
+    """
+    if enforce_minimum and len(addresses) < min_addresses:
+        raise ValueError(
+            f"network {network} has only {len(addresses)} addresses "
+            f"(minimum {min_addresses}); pass enforce_minimum=False to override"
+        )
+    first, last = span
+    values = nybble_entropies(addresses, first, last)
+    return EntropyFingerprint(
+        network=network,
+        first_nybble=first,
+        last_nybble=last,
+        entropies=tuple(values),
+        sample_size=len(addresses),
+    )
+
+
+def median_profile(fingerprints: Sequence[EntropyFingerprint]) -> list[float]:
+    """Per-nybble median entropy over a set of fingerprints.
+
+    Used to summarise each cluster graphically (the right-hand side of
+    Figure 2).
+    """
+    if not fingerprints:
+        return []
+    matrix = np.vstack([f.as_array() for f in fingerprints])
+    return [float(x) for x in np.median(matrix, axis=0)]
+
+
+def normalized_entropy(values: Sequence[int], alphabet_size: int = 16) -> float:
+    """Normalised Shannon entropy of an arbitrary discrete sample.
+
+    Helper shared with the Entropy/IP generator's segment analysis.
+    """
+    if not values:
+        return 0.0
+    counts: dict[int, int] = {}
+    for v in values:
+        counts[v] = counts.get(v, 0) + 1
+    n = len(values)
+    entropy = -sum((c / n) * math.log2(c / n) for c in counts.values())
+    return entropy / math.log2(alphabet_size)

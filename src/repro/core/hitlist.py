@@ -1,0 +1,210 @@
+"""Hitlist assembly, de-aliasing and the daily hitlist service.
+
+This module ties the pipeline of Section 6 together:
+
+1. collect addresses from all sources (:mod:`repro.sources`),
+2. run multi-level aliased prefix detection and remove targets inside aliased
+   prefixes (:mod:`repro.core.apd`),
+3. probe the remaining targets on all five protocols with the ZMap-style
+   scanner (:mod:`repro.probing.zmap`),
+4. publish the day's responsive addresses and aliased prefix list -- the two
+   artefacts the paper's public hitlist service provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.addr.address import IPv6Address
+from repro.addr.prefix import IPv6Prefix
+from repro.core.apd import AliasedPrefixDetector, APDConfig, APDResult
+from repro.core.bias import CoverageStats, coverage_stats
+from repro.netmodel.internet import SimulatedInternet
+from repro.netmodel.services import ALL_PROTOCOLS, Protocol
+from repro.probing.scheduler import DailyScanResult, ScanScheduler
+from repro.sources.base import HitlistSource
+from repro.sources.registry import SourceAssembly
+
+
+@dataclass(slots=True)
+class HitlistEntry:
+    """One hitlist address with provenance."""
+
+    address: IPv6Address
+    sources: set[str] = field(default_factory=set)
+    first_seen_day: int = 0
+
+
+class Hitlist:
+    """A set of candidate scan targets with provenance and curation helpers."""
+
+    def __init__(self, entries: Iterable[HitlistEntry] = ()):
+        self._entries: dict[int, HitlistEntry] = {}
+        for entry in entries:
+            self.add(entry.address, entry.sources, entry.first_seen_day)
+
+    # -- construction -----------------------------------------------------------
+
+    def add(
+        self, address: IPv6Address, sources: Iterable[str] = (), first_seen_day: int = 0
+    ) -> None:
+        """Add an address (merging provenance if already present)."""
+        entry = self._entries.get(address.value)
+        if entry is None:
+            self._entries[address.value] = HitlistEntry(
+                address=address, sources=set(sources), first_seen_day=first_seen_day
+            )
+        else:
+            entry.sources.update(sources)
+            entry.first_seen_day = min(entry.first_seen_day, first_seen_day)
+
+    @classmethod
+    def from_assembly(cls, assembly: SourceAssembly, day: int | None = None) -> "Hitlist":
+        """Build a hitlist from every source's snapshot up to *day*."""
+        hitlist = cls()
+        for source in assembly.sources:
+            for record in source.records:
+                if day is not None and record.first_seen_day > day:
+                    continue
+                hitlist.add(record.address, {source.name}, record.first_seen_day)
+        return hitlist
+
+    @classmethod
+    def from_sources(cls, sources: Sequence[HitlistSource], day: int | None = None) -> "Hitlist":
+        """Build a hitlist from an explicit list of sources."""
+        hitlist = cls()
+        for source in sources:
+            for record in source.records:
+                if day is not None and record.first_seen_day > day:
+                    continue
+                hitlist.add(record.address, {source.name}, record.first_seen_day)
+        return hitlist
+
+    # -- access -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: IPv6Address) -> bool:
+        return address.value in self._entries
+
+    def __iter__(self):
+        return iter(self.addresses)
+
+    @property
+    def addresses(self) -> list[IPv6Address]:
+        """All hitlist addresses."""
+        return [entry.address for entry in self._entries.values()]
+
+    @property
+    def entries(self) -> list[HitlistEntry]:
+        return list(self._entries.values())
+
+    def entry(self, address: IPv6Address) -> HitlistEntry | None:
+        return self._entries.get(address.value)
+
+    def by_source(self, source: str) -> list[IPv6Address]:
+        """Addresses contributed (possibly among others) by one source."""
+        return [e.address for e in self._entries.values() if source in e.sources]
+
+    # -- curation -------------------------------------------------------------------
+
+    def split_aliased(self, apd: APDResult) -> tuple[list[IPv6Address], list[IPv6Address]]:
+        """Split into (aliased, non-aliased) using the APD filter."""
+        return apd.split(self.addresses)
+
+    def non_aliased(self, apd: APDResult) -> list[IPv6Address]:
+        """Scan targets after removing addresses in aliased prefixes."""
+        return apd.filter_non_aliased(self.addresses)
+
+    def coverage(self, internet: SimulatedInternet) -> CoverageStats:
+        """AS/prefix coverage of the full hitlist."""
+        return coverage_stats(self.addresses, internet)
+
+
+@dataclass(slots=True)
+class DailyHitlist:
+    """The published artefacts of one day of the hitlist service."""
+
+    day: int
+    input_addresses: int
+    aliased_prefixes: list[IPv6Prefix]
+    scan_targets: list[IPv6Address]
+    scan_result: DailyScanResult
+    apd_result: APDResult
+
+    @property
+    def responsive_addresses(self) -> set[IPv6Address]:
+        """Addresses responsive on at least one protocol (the published list)."""
+        return self.scan_result.responsive_any
+
+    def responsive_on(self, protocol: Protocol) -> set[IPv6Address]:
+        """Addresses responsive on one protocol."""
+        return self.scan_result.responsive_on(protocol)
+
+    @property
+    def aliased_share(self) -> float:
+        """Fraction of input addresses removed by de-aliasing."""
+        if not self.input_addresses:
+            return 0.0
+        return 1.0 - len(self.scan_targets) / self.input_addresses
+
+
+class HitlistService:
+    """The daily IPv6 hitlist service (Section 11).
+
+    Composes source collection, APD and responsiveness scanning into the
+    daily loop the paper runs for six months, and keeps per-day outputs.
+    """
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        assembly: SourceAssembly,
+        apd_config: APDConfig = APDConfig(),
+        protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+        seed: int = 0,
+    ):
+        self.internet = internet
+        self.assembly = assembly
+        self.apd_config = apd_config
+        self.protocols = tuple(protocols)
+        self._seed = seed
+        self.history: dict[int, DailyHitlist] = {}
+
+    def run_day(self, day: int) -> DailyHitlist:
+        """Run the full pipeline for one day and record the outcome."""
+        hitlist = Hitlist.from_assembly(self.assembly, day=None)
+        addresses = hitlist.addresses
+        detector = AliasedPrefixDetector(
+            self.internet, self.apd_config, seed=self._seed ^ (day * 0x45D9F3B)
+        )
+        apd_result = detector.run(addresses, day=day)
+        targets = apd_result.filter_non_aliased(addresses)
+        scheduler = ScanScheduler(self.internet, self.protocols, seed=self._seed ^ day)
+        scan_result = scheduler.run_day(targets, day)
+        daily = DailyHitlist(
+            day=day,
+            input_addresses=len(addresses),
+            aliased_prefixes=apd_result.aliased_prefixes,
+            scan_targets=targets,
+            scan_result=scan_result,
+            apd_result=apd_result,
+        )
+        self.history[day] = daily
+        return daily
+
+    def run_days(self, days: Sequence[int]) -> list[DailyHitlist]:
+        """Run the daily pipeline for several days."""
+        return [self.run_day(day) for day in days]
+
+    def responsive_over_time(self, protocol: Protocol | None = None) -> Mapping[int, int]:
+        """Number of responsive addresses per day (for longitudinal views)."""
+        counts: dict[int, int] = {}
+        for day, daily in sorted(self.history.items()):
+            if protocol is None:
+                counts[day] = len(daily.responsive_addresses)
+            else:
+                counts[day] = len(daily.responsive_on(protocol))
+        return counts

@@ -1,0 +1,120 @@
+"""Loss resilience for APD: the multi-day sliding window (Section 5.2).
+
+Packet loss can make an aliased prefix look non-aliased (a false negative).
+On top of cross-protocol merging, the paper requires each fan-out address to
+have answered *any* protocol within the past N days.  Table 4 compares window
+sizes 0..5 by the number of prefixes that remain "unstable" -- i.e. flip
+between aliased and non-aliased across days -- and selects a window of 3 days
+(reducing unstable prefixes by almost 80 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.addr.prefix import IPv6Prefix
+from repro.core.apd import APDResult
+
+
+@dataclass(slots=True)
+class WindowStats:
+    """Unstable-prefix statistics for one window size (one Table 4 column)."""
+
+    window: int
+    unstable_prefixes: int
+    aliased_final: int
+    total_prefixes: int
+
+
+class SlidingWindowMerger:
+    """Merge daily APD outcomes over a trailing window of days."""
+
+    def __init__(self, daily_results: Mapping[int, APDResult]):
+        if not daily_results:
+            raise ValueError("at least one daily APD result is required")
+        self._daily = dict(sorted(daily_results.items()))
+        self._days = list(self._daily)
+
+    @property
+    def days(self) -> list[int]:
+        return list(self._days)
+
+    def prefixes(self) -> list[IPv6Prefix]:
+        """All prefixes probed on any day."""
+        prefixes: set[IPv6Prefix] = set()
+        for result in self._daily.values():
+            prefixes.update(result.outcomes)
+        return sorted(prefixes)
+
+    # -- windowed classification -------------------------------------------------
+
+    def windowed_responsive_branches(
+        self, prefix: IPv6Prefix, day: int, window: int
+    ) -> set[int]:
+        """Fan-out branches responsive on any protocol within the window.
+
+        ``window = 0`` uses only the given day; ``window = n`` additionally
+        merges the n previous days.
+        """
+        branches: set[int] = set()
+        for d in range(day - window, day + 1):
+            result = self._daily.get(d)
+            if result is None:
+                continue
+            outcome = result.outcomes.get(prefix)
+            if outcome is not None:
+                branches |= outcome.responsive_branches
+        return branches
+
+    def windowed_is_aliased(self, prefix: IPv6Prefix, day: int, window: int) -> bool:
+        """Aliased verdict for a prefix on a day under a window size."""
+        outcome = None
+        result = self._daily.get(day)
+        if result is not None:
+            outcome = result.outcomes.get(prefix)
+        expected = len(outcome.targets) if outcome is not None else 16
+        return len(self.windowed_responsive_branches(prefix, day, window)) >= expected
+
+    def daily_verdicts(self, prefix: IPv6Prefix, window: int) -> list[bool]:
+        """Per-day aliased verdicts for one prefix under a window size.
+
+        Verdicts start once the window has filled (from the ``window``-th
+        observed day onwards) so that short histories do not masquerade as
+        instability.
+        """
+        verdict_days = [d for d in self._days if d - self._days[0] >= window]
+        return [self.windowed_is_aliased(prefix, d, window) for d in verdict_days]
+
+    def is_unstable(self, prefix: IPv6Prefix, window: int) -> bool:
+        """Does the prefix change nature across days under this window?"""
+        verdicts = self.daily_verdicts(prefix, window)
+        return len(set(verdicts)) > 1
+
+    # -- Table 4 ------------------------------------------------------------------
+
+    def window_stats(self, window: int) -> WindowStats:
+        """Unstable-prefix count and final aliased count for one window size."""
+        prefixes = self.prefixes()
+        unstable = sum(1 for p in prefixes if self.is_unstable(p, window))
+        last_day = self._days[-1]
+        aliased_final = sum(
+            1 for p in prefixes if self.windowed_is_aliased(p, last_day, window)
+        )
+        return WindowStats(
+            window=window,
+            unstable_prefixes=unstable,
+            aliased_final=aliased_final,
+            total_prefixes=len(prefixes),
+        )
+
+    def sweep_windows(self, windows: Sequence[int] = range(6)) -> list[WindowStats]:
+        """Table 4: unstable prefixes for each candidate window size."""
+        return [self.window_stats(w) for w in windows]
+
+    def final_aliased_prefixes(self, window: int = 3) -> list[IPv6Prefix]:
+        """Aliased prefixes on the last day under the chosen window."""
+        last_day = self._days[-1]
+        return [
+            p for p in self.prefixes() if self.windowed_is_aliased(p, last_day, window)
+        ]

@@ -1,0 +1,22 @@
+"""Experiment harness: one module per table and figure of the paper.
+
+Every experiment consumes an :class:`repro.experiments.context.ExperimentContext`
+(which lazily builds and caches the simulated Internet, the source assembly,
+the day-0 APD run and the day-0 protocol sweep so experiments can share them)
+and returns a result object with the same rows/series the paper reports.
+
+Use :func:`repro.experiments.runner.run_experiment` to run one experiment by
+id, or :func:`repro.experiments.runner.run_all` for everything.  The
+benchmarks in ``benchmarks/`` wrap exactly these entry points.
+"""
+
+from repro.experiments.context import ExperimentConfig, ExperimentContext
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+]

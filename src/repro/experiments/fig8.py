@@ -1,0 +1,76 @@
+"""Figure 8: responsiveness over time, split by hitlist source.
+
+Every address responsive on day 0 keeps being probed daily; the figure shows,
+per source, the share of the day-0 baseline still responsive on each day.
+The paper's findings: DNS-derived server sources (domain lists, FDNS, CT,
+AXFR) and RIPE Atlas stay near 1.0 over two weeks, while sources containing
+clients and CPE (Bitnodes, scamper) lose 20-32 % of their day-0 responders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.longitudinal import ResponsivenessTimeline, responsiveness_over_time
+from repro.experiments.context import ExperimentContext
+
+
+#: Sources expected to stay stable vs. sources expected to decay.
+STABLE_SOURCES = ("domainlists", "fdns", "ct", "axfr", "ripeatlas")
+DECAYING_SOURCES = ("scamper", "bitnodes")
+
+
+@dataclass(slots=True)
+class Fig8Result:
+    """Per-source retention timelines."""
+
+    timelines: Mapping[str, ResponsivenessTimeline]
+
+    def retention(self, source: str) -> list[float]:
+        return self.timelines[source].retention
+
+    def final_retention(self, source: str) -> float:
+        return self.timelines[source].final_retention
+
+    @property
+    def stable_sources_stay_responsive(self) -> bool:
+        """Server-heavy sources keep most of their day-0 responders."""
+        checked = [
+            self.final_retention(s)
+            for s in STABLE_SOURCES
+            if s in self.timelines and self.timelines[s].baseline_size >= 20
+        ]
+        return bool(checked) and min(checked) > 0.85
+
+    @property
+    def scamper_decays_fastest(self) -> bool:
+        """The CPE-dominated scamper source loses the largest share."""
+        if "scamper" not in self.timelines:
+            return False
+        scamper = self.final_retention("scamper")
+        stable = [
+            self.final_retention(s)
+            for s in STABLE_SOURCES
+            if s in self.timelines and self.timelines[s].baseline_size >= 20
+        ]
+        return bool(stable) and scamper <= min(stable)
+
+
+def run(ctx: ExperimentContext) -> Fig8Result:
+    """Run the multi-day campaign and compute per-source retention."""
+    groups = {
+        source.name: list(source.snapshot())
+        for source in ctx.assembly.sources
+    }
+    timelines = responsiveness_over_time(list(ctx.longitudinal_campaign), groups)
+    return Fig8Result(timelines={t.group: t for t in timelines})
+
+
+def format_table(result: Fig8Result) -> str:
+    """Render the retention matrix (sources x days)."""
+    lines = []
+    for name, timeline in result.timelines.items():
+        series = " ".join(f"{r:4.2f}" for r in timeline.retention)
+        lines.append(f"{name:<12} (n={timeline.baseline_size:>5}) {series}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Experiment registry and runner.
+
+``EXPERIMENTS`` maps experiment ids (as used in DESIGN.md and EXPERIMENTS.md)
+to their modules; every module exposes ``run(ctx) -> result`` and
+``format_table(result) -> str``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Mapping
+
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig10,
+    murdock,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table7,
+    table9,
+)
+from repro.experiments.context import DEFAULT_EXPERIMENT_CONFIG, ExperimentConfig, ExperimentContext
+
+#: Experiment id -> implementing module.  fig9 is produced by the table7
+#: module (same pipeline run), table6 by the table5 module, and table8 by the
+#: fig10 module, mirroring how the paper derives them from shared data.
+EXPERIMENTS: Mapping[str, ModuleType] = {
+    "table1": table1,
+    "table2": table2,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "table3": table3,
+    "table4": table4,
+    "fig4": fig4,
+    "fig5": fig5,
+    "table5": table5,
+    "table6": table5,
+    "murdock": murdock,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "table7": table7,
+    "fig9": table7,
+    "fig10": fig10,
+    "table8": fig10,
+    "table9": table9,
+}
+
+
+@dataclass(slots=True)
+class ExperimentOutcome:
+    """A finished experiment: its result object and formatted report."""
+
+    experiment_id: str
+    result: object
+    report: str
+
+
+def run_experiment(
+    experiment_id: str,
+    ctx: ExperimentContext | None = None,
+    config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG,
+) -> ExperimentOutcome:
+    """Run a single experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
+    ctx = ctx or ExperimentContext(config)
+    module = EXPERIMENTS[experiment_id]
+    result = module.run(ctx)
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        result=result,
+        report=module.format_table(result),
+    )
+
+
+def run_all(
+    ctx: ExperimentContext | None = None,
+    config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG,
+    experiment_ids: "list[str] | None" = None,
+) -> dict[str, ExperimentOutcome]:
+    """Run all (or selected) experiments over one shared context.
+
+    Duplicate modules (table5/table6, table7/fig9, fig10/table8) are executed
+    only once and the outcome reused for both ids.
+    """
+    ctx = ctx or ExperimentContext(config)
+    ids = experiment_ids or list(EXPERIMENTS)
+    outcomes: dict[str, ExperimentOutcome] = {}
+    by_module: dict[ModuleType, ExperimentOutcome] = {}
+    for experiment_id in ids:
+        module = EXPERIMENTS[experiment_id]
+        if module in by_module:
+            cached = by_module[module]
+            outcomes[experiment_id] = ExperimentOutcome(
+                experiment_id=experiment_id, result=cached.result, report=cached.report
+            )
+            continue
+        outcome = run_experiment(experiment_id, ctx)
+        by_module[module] = outcome
+        outcomes[experiment_id] = outcome
+    return outcomes

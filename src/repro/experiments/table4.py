@@ -1,0 +1,61 @@
+"""Table 4: impact of the sliding window on unstable prefixes.
+
+The paper runs APD daily and counts, for window sizes 0..5 days, how many
+prefixes remain *unstable* (flip between aliased and non-aliased).  A window
+of 3 days removes almost 80 % of the instability, which is the value the
+pipeline adopts.  This experiment reruns APD for several days over the
+hitlist and reproduces the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.apd import AliasedPrefixDetector
+from repro.core.sliding_window import SlidingWindowMerger, WindowStats
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass(slots=True)
+class Table4Result:
+    """Unstable-prefix counts per window size."""
+
+    stats: list[WindowStats] = field(default_factory=list)
+
+    def unstable(self, window: int) -> int:
+        for entry in self.stats:
+            if entry.window == window:
+                return entry.unstable_prefixes
+        raise KeyError(window)
+
+    @property
+    def reduction_with_three_days(self) -> float:
+        """Relative reduction of unstable prefixes from window 0 to window 3."""
+        base = self.unstable(0)
+        if base == 0:
+            return 0.0
+        return 1.0 - self.unstable(3) / base
+
+
+def run(
+    ctx: ExperimentContext,
+    days: Sequence[int] = range(8),
+    windows: Sequence[int] = range(6),
+) -> Table4Result:
+    """Run APD daily and sweep the window sizes."""
+    detector = AliasedPrefixDetector(ctx.internet, ctx.apd_config, seed=ctx.config.seed ^ 0x7AB)
+    daily = detector.run_window(ctx.hitlist.addresses, days=days)
+    merger = SlidingWindowMerger(daily)
+    return Table4Result(stats=list(merger.sweep_windows(windows)))
+
+
+def format_table(result: Table4Result) -> str:
+    """Render the window sweep like the paper's Table 4."""
+    windows = "  ".join(f"{s.window:>5}" for s in result.stats)
+    unstable = "  ".join(f"{s.unstable_prefixes:>5}" for s in result.stats)
+    return (
+        f"Sliding window     {windows}\n"
+        f"Unstable prefixes  {unstable}\n"
+        f"(3-day window removes {result.reduction_with_three_days:.0%} of instability)"
+    )

@@ -1,0 +1,30 @@
+"""Learning new IPv6 addresses (Section 7).
+
+Two generators are implemented from scratch:
+
+* :mod:`repro.genaddr.entropy_ip` -- a re-implementation of Entropy/IP
+  (Foremski et al., IMC 2016) with the paper's improved generator that walks
+  the segment model exhaustively in order of probability instead of sampling
+  randomly.
+* :mod:`repro.genaddr.sixgen` -- a re-implementation of 6Gen (Murdock et al.,
+  IMC 2017): grow dense seed clusters and enumerate the tightest covering
+  ranges.
+
+:mod:`repro.genaddr.pipeline` wires them into the paper's per-AS generation
+methodology (seed filtering, 100 k caps, deduplication, probing).
+"""
+
+from repro.genaddr.entropy_ip import EntropyIPModel, EntropyIPGenerator, Segment
+from repro.genaddr.sixgen import SixGenGenerator, SeedCluster
+from repro.genaddr.pipeline import GenerationPipeline, GenerationReport, PerASGeneration
+
+__all__ = [
+    "EntropyIPModel",
+    "EntropyIPGenerator",
+    "Segment",
+    "SixGenGenerator",
+    "SeedCluster",
+    "GenerationPipeline",
+    "GenerationReport",
+    "PerASGeneration",
+]

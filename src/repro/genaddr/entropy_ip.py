@@ -1,0 +1,260 @@
+"""Entropy/IP: segment-based address structure model and generator.
+
+Entropy/IP (Foremski et al., IMC 2016) discovers structure in a set of IPv6
+addresses in three steps:
+
+1. compute the per-nybble entropy profile of the seed set and split the 32
+   nybble positions into *segments* of similar entropy;
+2. for each segment, mine the frequent values (or value ranges) observed in
+   the seeds;
+3. connect adjacent segments in a Bayesian-network-like chain that captures
+   which value combinations co-occur.
+
+The generator then produces candidate addresses by walking the model.  The
+paper improves the original random walk by enumerating combinations
+*exhaustively in order of probability* under a scanning budget; that is what
+:class:`EntropyIPGenerator` implements (a best-first search over the segment
+chain).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.addr.address import IPv6Address, NYBBLES, nybbles_of
+from repro.core.entropy import nybble_entropies
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A run of adjacent nybble positions with similar entropy.
+
+    ``start``/``end`` are 1-based inclusive nybble positions.
+    """
+
+    start: int
+    end: int
+    mean_entropy: float
+
+    @property
+    def width(self) -> int:
+        return self.end - self.start + 1
+
+    def slice_of(self, nybbles: str) -> str:
+        """This segment's substring of a 32-nybble address string."""
+        return nybbles[self.start - 1 : self.end]
+
+
+def segment_positions(
+    entropies: Sequence[float], threshold: float = 0.1, max_width: int = 8
+) -> list[tuple[int, int]]:
+    """Split nybble positions 1..N into segments of similar entropy.
+
+    Adjacent positions are merged while their entropy differs by less than
+    ``threshold`` from the running segment mean and the segment stays at most
+    ``max_width`` nybbles wide (wide segments explode the value alphabet).
+    """
+    if not entropies:
+        return []
+    segments: list[tuple[int, int]] = []
+    start = 1
+    running: list[float] = [entropies[0]]
+    for position in range(2, len(entropies) + 1):
+        entropy = entropies[position - 1]
+        mean = sum(running) / len(running)
+        if abs(entropy - mean) > threshold or len(running) >= max_width:
+            segments.append((start, position - 1))
+            start = position
+            running = [entropy]
+        else:
+            running.append(entropy)
+    segments.append((start, len(entropies)))
+    return segments
+
+
+@dataclass(slots=True)
+class SegmentModel:
+    """Observed value distribution of one segment."""
+
+    segment: Segment
+    #: value (hex string) -> probability.
+    probabilities: dict[str, float] = field(default_factory=dict)
+
+    def top_values(self, limit: int | None = None) -> list[tuple[str, float]]:
+        """Values ordered by decreasing probability."""
+        ordered = sorted(self.probabilities.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ordered if limit is None else ordered[:limit]
+
+
+class EntropyIPModel:
+    """Segment decomposition + value statistics + adjacent-segment chain."""
+
+    def __init__(
+        self,
+        seeds: Sequence["IPv6Address | int | str"],
+        first_nybble: int = 1,
+        entropy_threshold: float = 0.1,
+        max_segment_width: int = 8,
+        max_values_per_segment: int = 64,
+    ):
+        if not seeds:
+            raise ValueError("Entropy/IP needs at least one seed address")
+        self.first_nybble = first_nybble
+        self._seed_nybbles = [nybbles_of(s) for s in seeds]
+        self._seed_set = {n for n in self._seed_nybbles}
+        entropies = nybble_entropies(seeds, first_nybble, NYBBLES)
+        raw_segments = segment_positions(entropies, entropy_threshold, max_segment_width)
+        self.segments: list[Segment] = [
+            Segment(
+                start=first_nybble + start - 1,
+                end=first_nybble + end - 1,
+                mean_entropy=sum(entropies[start - 1 : end]) / (end - start + 1),
+            )
+            for start, end in raw_segments
+        ]
+        self.max_values_per_segment = max_values_per_segment
+        self.segment_models: list[SegmentModel] = [
+            self._fit_segment(segment) for segment in self.segments
+        ]
+        self.transitions: list[dict[str, dict[str, float]]] = self._fit_transitions()
+
+    # -- fitting ------------------------------------------------------------------
+
+    def _fit_segment(self, segment: Segment) -> SegmentModel:
+        counts: dict[str, int] = {}
+        for nybbles in self._seed_nybbles:
+            value = segment.slice_of(nybbles)
+            counts[value] = counts.get(value, 0) + 1
+        total = sum(counts.values())
+        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        kept = ordered[: self.max_values_per_segment]
+        kept_total = sum(c for _, c in kept) or 1
+        probabilities = {value: count / kept_total for value, count in kept}
+        return SegmentModel(segment=segment, probabilities=probabilities)
+
+    def _fit_transitions(self) -> list[dict[str, dict[str, float]]]:
+        """Conditional P(next segment value | this segment value) per boundary."""
+        transitions: list[dict[str, dict[str, float]]] = []
+        for left, right in zip(self.segments, self.segments[1:]):
+            counts: dict[str, dict[str, int]] = {}
+            for nybbles in self._seed_nybbles:
+                lv = left.slice_of(nybbles)
+                rv = right.slice_of(nybbles)
+                counts.setdefault(lv, {}).setdefault(rv, 0)
+                counts[lv][rv] += 1
+            table: dict[str, dict[str, float]] = {}
+            for lv, right_counts in counts.items():
+                total = sum(right_counts.values())
+                table[lv] = {rv: c / total for rv, c in right_counts.items()}
+            transitions.append(table)
+        return transitions
+
+    # -- probabilities -----------------------------------------------------------
+
+    def candidate_values(self, index: int, previous_value: str | None) -> list[tuple[str, float]]:
+        """Values of segment *index* with probabilities, conditioned on the
+        previous segment's value when a transition entry exists."""
+        model = self.segment_models[index]
+        if index > 0 and previous_value is not None:
+            table = self.transitions[index - 1].get(previous_value)
+            if table:
+                # Blend the conditional distribution with the marginal so that
+                # unseen combinations still get some probability mass.
+                blended: dict[str, float] = dict(model.probabilities)
+                for value, p in table.items():
+                    blended[value] = 0.5 * blended.get(value, 0.0) + 0.5 * p
+                total = sum(blended.values())
+                return sorted(
+                    ((v, p / total) for v, p in blended.items()),
+                    key=lambda kv: (-kv[1], kv[0]),
+                )
+        return model.top_values()
+
+    def is_seed(self, nybbles: str) -> bool:
+        """True when the 32-nybble string is one of the model's seeds."""
+        return nybbles in self._seed_set
+
+    @property
+    def seed_count(self) -> int:
+        return len(self._seed_nybbles)
+
+
+class EntropyIPGenerator:
+    """Exhaustive most-probable-first address generation from an Entropy/IP model."""
+
+    def __init__(self, model: EntropyIPModel):
+        self.model = model
+
+    def generate(self, budget: int, include_seeds: bool = False) -> list[IPv6Address]:
+        """Generate up to *budget* addresses, most probable first.
+
+        A best-first search over segment assignments: states are partial
+        assignments scored by the sum of log-probabilities; expanding a state
+        fixes the next segment to one of its candidate values.  The first
+        ``budget`` complete assignments popped from the priority queue are the
+        most probable addresses under the model.
+        """
+        if budget <= 0:
+            return []
+        results: list[IPv6Address] = []
+        counter = itertools.count()
+        # Heap entries: (negative log-probability, tiebreak, values tuple).
+        heap: list[tuple[float, int, tuple[str, ...]]] = [(0.0, next(counter), ())]
+        seen_states: set[tuple[str, ...]] = set()
+        num_segments = len(self.model.segments)
+        prefix_nybbles = "0" * (self.model.first_nybble - 1)
+        while heap and len(results) < budget:
+            neg_logp, _, values = heapq.heappop(heap)
+            if len(values) == num_segments:
+                nybbles = prefix_nybbles + "".join(values)
+                if not include_seeds and self.model.is_seed(nybbles):
+                    continue
+                results.append(IPv6Address.from_nybbles(nybbles))
+                continue
+            index = len(values)
+            previous = values[-1] if values else None
+            for value, probability in self.model.candidate_values(index, previous):
+                if probability <= 0:
+                    continue
+                state = values + (value,)
+                if state in seen_states:
+                    continue
+                seen_states.add(state)
+                heapq.heappush(
+                    heap, (neg_logp - math.log(probability), next(counter), state)
+                )
+        return results
+
+    def generate_random(
+        self, budget: int, rng: random.Random, include_seeds: bool = False
+    ) -> list[IPv6Address]:
+        """The original Entropy/IP behaviour: random walks through the model.
+
+        Kept as an ablation baseline against the exhaustive generator.
+        """
+        results: list[IPv6Address] = []
+        seen: set[str] = set()
+        prefix_nybbles = "0" * (self.model.first_nybble - 1)
+        attempts = 0
+        while len(results) < budget and attempts < budget * 20:
+            attempts += 1
+            values: list[str] = []
+            for index in range(len(self.model.segments)):
+                previous = values[-1] if values else None
+                candidates = self.model.candidate_values(index, previous)
+                population = [v for v, _ in candidates]
+                weights = [p for _, p in candidates]
+                values.append(rng.choices(population, weights)[0])
+            nybbles = prefix_nybbles + "".join(values)
+            if nybbles in seen:
+                continue
+            seen.add(nybbles)
+            if not include_seeds and self.model.is_seed(nybbles):
+                continue
+            results.append(IPv6Address.from_nybbles(nybbles))
+        return results

@@ -1,0 +1,178 @@
+"""The paper's address-generation methodology (Section 7.1).
+
+Steps, as described in the paper:
+
+1. use all hitlist addresses in **non-aliased** prefixes as the seed list
+   (generating inside aliased prefixes would trivially inflate response rates);
+2. split the seeds by origin AS, keeping ASes with at least 100 addresses;
+3. take a random sample of at most 100 k seeds per AS;
+4. run Entropy/IP and 6Gen per AS to generate up to a fixed number of
+   candidate addresses each;
+5. take a random sample of at most 100 k generated addresses per AS and tool;
+6. probe the generated addresses (new, routable ones only) on all protocols.
+
+The absolute numbers are scaled down by the pipeline's parameters; the
+relative behaviour (low overall response rate, 6Gen ahead of Entropy/IP,
+small but highly responsive overlap) is what the Table 7 / Figure 9
+experiments check.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.addr.address import IPv6Address
+from repro.addr.generate import dedupe, sample_capped
+from repro.genaddr.entropy_ip import EntropyIPGenerator, EntropyIPModel
+from repro.genaddr.sixgen import SixGenGenerator
+from repro.netmodel.internet import SimulatedInternet
+from repro.netmodel.services import ALL_PROTOCOLS, Protocol
+from repro.probing.zmap import ZMapScanner
+
+
+@dataclass(slots=True)
+class PerASGeneration:
+    """Generated addresses of one tool for one AS."""
+
+    asn: int
+    tool: str
+    seeds: int
+    generated: list[IPv6Address] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class GenerationReport:
+    """Outcome of the full generation + probing pipeline."""
+
+    per_as: list[PerASGeneration] = field(default_factory=list)
+    #: Deduplicated, routed, previously unknown addresses per tool.
+    candidates: dict[str, list[IPv6Address]] = field(default_factory=dict)
+    #: Responsive addresses per tool and protocol.
+    responsive: dict[str, dict[Protocol, set[IPv6Address]]] = field(default_factory=dict)
+
+    def generated_count(self, tool: str) -> int:
+        """Total candidate addresses produced by one tool."""
+        return len(self.candidates.get(tool, []))
+
+    def responsive_any(self, tool: str) -> set[IPv6Address]:
+        """Addresses of one tool responsive on at least one protocol."""
+        result: set[IPv6Address] = set()
+        for addresses in self.responsive.get(tool, {}).values():
+            result |= addresses
+        return result
+
+    def response_rate(self, tool: str) -> float:
+        """Responsive share of one tool's candidates."""
+        generated = self.generated_count(tool)
+        return len(self.responsive_any(tool)) / generated if generated else 0.0
+
+    def overlap_candidates(self, tool_a: str = "entropy_ip", tool_b: str = "6gen") -> set[IPv6Address]:
+        """Candidate addresses produced by both tools."""
+        return set(self.candidates.get(tool_a, ())) & set(self.candidates.get(tool_b, ()))
+
+    def overlap_responsive(self, tool_a: str = "entropy_ip", tool_b: str = "6gen") -> set[IPv6Address]:
+        """Responsive addresses found by both tools."""
+        return self.responsive_any(tool_a) & self.responsive_any(tool_b)
+
+    def protocol_combination_shares(self, tool: str) -> dict[tuple[Protocol, ...], float]:
+        """Share of responsive addresses per exact protocol combination (Table 7)."""
+        by_address: dict[IPv6Address, set[Protocol]] = {}
+        for protocol, addresses in self.responsive.get(tool, {}).items():
+            for address in addresses:
+                by_address.setdefault(address, set()).add(protocol)
+        total = len(by_address)
+        combos: dict[tuple[Protocol, ...], int] = {}
+        for protocols in by_address.values():
+            key = tuple(p for p in ALL_PROTOCOLS if p in protocols)
+            combos[key] = combos.get(key, 0) + 1
+        return {combo: count / total for combo, count in combos.items()} if total else {}
+
+
+class GenerationPipeline:
+    """Per-AS Entropy/IP + 6Gen generation and probing."""
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        min_seeds_per_as: int = 100,
+        seed_cap_per_as: int = 100_000,
+        generation_budget_per_as: int = 2_000,
+        generated_cap_per_as: int = 100_000,
+        seed: int = 0,
+    ):
+        self.internet = internet
+        self.min_seeds_per_as = min_seeds_per_as
+        self.seed_cap_per_as = seed_cap_per_as
+        self.generation_budget_per_as = generation_budget_per_as
+        self.generated_cap_per_as = generated_cap_per_as
+        self._rng = random.Random(seed)
+
+    # -- seed preparation ------------------------------------------------------------
+
+    def seeds_by_as(self, non_aliased_addresses: Iterable[IPv6Address]) -> dict[int, list[IPv6Address]]:
+        """Group non-aliased seed addresses by origin AS and apply the caps."""
+        groups: dict[int, list[IPv6Address]] = {}
+        for address in non_aliased_addresses:
+            asn = self.internet.asn_of(address)
+            if asn is None:
+                continue
+            groups.setdefault(asn, []).append(address)
+        eligible: dict[int, list[IPv6Address]] = {}
+        for asn, addresses in groups.items():
+            if len(addresses) < self.min_seeds_per_as:
+                continue
+            eligible[asn] = sample_capped(dedupe(addresses), self.seed_cap_per_as, self._rng)
+        return eligible
+
+    # -- generation --------------------------------------------------------------------
+
+    def run(
+        self,
+        non_aliased_addresses: Sequence[IPv6Address],
+        known_addresses: Iterable[IPv6Address] = (),
+        day: int = 0,
+        probe: bool = True,
+    ) -> GenerationReport:
+        """Run the full pipeline and (optionally) probe the generated targets."""
+        known = {a.value for a in known_addresses} or {a.value for a in non_aliased_addresses}
+        report = GenerationReport()
+        seeds_by_as = self.seeds_by_as(non_aliased_addresses)
+        raw_by_tool: dict[str, list[IPv6Address]] = {"entropy_ip": [], "6gen": []}
+        for asn, seeds in sorted(seeds_by_as.items()):
+            generated = self._generate_for_as(asn, seeds)
+            for tool, addresses in generated.items():
+                capped = sample_capped(addresses, self.generated_cap_per_as, self._rng)
+                raw_by_tool[tool].extend(capped)
+                report.per_as.append(
+                    PerASGeneration(asn=asn, tool=tool, seeds=len(seeds), generated=capped)
+                )
+        for tool, addresses in raw_by_tool.items():
+            candidates = [
+                a
+                for a in dedupe(addresses)
+                if a.value not in known and self.internet.bgp.is_routed(a)
+            ]
+            report.candidates[tool] = candidates
+        if probe:
+            self._probe(report, day)
+        return report
+
+    def _generate_for_as(self, asn: int, seeds: Sequence[IPv6Address]) -> dict[str, list[IPv6Address]]:
+        budget = self.generation_budget_per_as
+        entropy_model = EntropyIPModel(seeds)
+        entropy_addresses = EntropyIPGenerator(entropy_model).generate(budget)
+        sixgen = SixGenGenerator(seeds, seed=self._rng.getrandbits(32))
+        sixgen_addresses = sixgen.generate(budget)
+        return {"entropy_ip": entropy_addresses, "6gen": sixgen_addresses}
+
+    # -- probing -----------------------------------------------------------------------
+
+    def _probe(self, report: GenerationReport, day: int) -> None:
+        scanner = ZMapScanner(self.internet, seed=self._rng.getrandbits(32))
+        for tool, candidates in report.candidates.items():
+            sweep = scanner.sweep(candidates, ALL_PROTOCOLS, day)
+            report.responsive[tool] = {
+                protocol: result.responsive for protocol, result in sweep.items()
+            }

@@ -1,0 +1,46 @@
+"""Simulated IPv6 Internet substrate.
+
+The paper measures the live IPv6 Internet; this reproduction runs the exact
+same measurement and curation pipeline against a deterministic, seeded
+simulation of it.  The simulation exposes only what a scanner could observe:
+send a probe to an address on a protocol on a given day and receive either a
+reply (with TCP/IP header fields) or silence.  Ground truth (which prefixes
+are aliased, which hosts exist, which addressing scheme a network uses) stays
+available to tests and to EXPERIMENTS.md validation, but the measurement code
+in :mod:`repro.core` never touches it.
+
+Main entry point: :class:`repro.netmodel.internet.SimulatedInternet`.
+"""
+
+from repro.netmodel.config import InternetConfig, SMALL_CONFIG, DEFAULT_CONFIG, LARGE_CONFIG
+from repro.netmodel.services import Protocol, ServiceProfile, HostRole
+from repro.netmodel.schemes import AddressingScheme
+from repro.netmodel.fingerprints import StackPersonality, TimestampBehaviour
+from repro.netmodel.host import Host
+from repro.netmodel.aliased import AliasedRegion
+from repro.netmodel.asregistry import ASCategory, ASDescriptor, ASRegistry
+from repro.netmodel.bgp import BGPAnnouncement, BGPTable
+from repro.netmodel.internet import SimulatedInternet
+from repro.netmodel.packets import ProbeReply
+
+__all__ = [
+    "InternetConfig",
+    "SMALL_CONFIG",
+    "DEFAULT_CONFIG",
+    "LARGE_CONFIG",
+    "Protocol",
+    "ServiceProfile",
+    "HostRole",
+    "AddressingScheme",
+    "StackPersonality",
+    "TimestampBehaviour",
+    "Host",
+    "AliasedRegion",
+    "ASCategory",
+    "ASDescriptor",
+    "ASRegistry",
+    "BGPAnnouncement",
+    "BGPTable",
+    "SimulatedInternet",
+    "ProbeReply",
+]

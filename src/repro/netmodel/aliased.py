@@ -1,0 +1,70 @@
+"""Aliased prefixes: one machine answering an entire prefix.
+
+Section 5 of the paper is motivated by CDNs binding whole prefixes to single
+machines (``IP_FREEBIND``), which makes every address in e.g. a /48 or /96
+respond and would otherwise flood the hitlist with millions of equivalent
+addresses.  An :class:`AliasedRegion` models exactly that: a prefix plus the
+single host that answers for every address inside it.
+
+Two special behaviours from the paper's anomaly analysis (Section 5.1, case 4)
+are modelled as well, because they stress-test APD:
+
+* a *SYN-proxy* region only starts answering TCP after a connection-attempt
+  threshold is crossed, producing inconsistent probe results;
+* an *ICMP rate-limited* region drops a fraction of probe bursts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.addr.address import IPv6Address
+from repro.addr.prefix import IPv6Prefix
+from repro.netmodel.host import Host
+from repro.netmodel.packets import ProbeReply
+from repro.netmodel.services import Protocol
+
+
+@dataclass(slots=True)
+class AliasedRegion:
+    """A prefix fully bound to one responding machine."""
+
+    prefix: IPv6Prefix
+    host: Host
+    #: Probability that any individual probe into the region is answered;
+    #: models loss and rate limiting on top of the host's own model.
+    answer_probability: float = 1.0
+    #: If True the region behaves like a SYN proxy: TCP answers appear only
+    #: with this probability per probe, independent of address.
+    syn_proxy: bool = False
+    #: If set, ICMP probes are rate limited to this acceptance probability.
+    icmp_rate_limit: float | None = None
+
+    def covers(self, address: IPv6Address) -> bool:
+        """True if *address* falls inside the aliased prefix."""
+        return address in self.prefix
+
+    def reply(
+        self,
+        address: IPv6Address,
+        protocol: Protocol,
+        day: int,
+        rng: random.Random,
+        time_of_day: float = 0.0,
+    ) -> ProbeReply | None:
+        """Reply of the aliased machine for a probe to any covered address."""
+        if not self.covers(address):
+            return None
+        if protocol not in self.host.services:
+            return None
+        if not self.host.stability.is_online(day):
+            return None
+        if self.syn_proxy and protocol.is_tcp and rng.random() > 0.35:
+            return None
+        if self.icmp_rate_limit is not None and protocol is Protocol.ICMP:
+            if rng.random() > self.icmp_rate_limit:
+                return None
+        if rng.random() > self.answer_probability:
+            return None
+        return self.host.reply(address, protocol, day, time_of_day)

@@ -1,0 +1,165 @@
+"""Autonomous systems of the simulated Internet.
+
+The paper's bias analysis is all about how addresses distribute over ASes and
+BGP prefixes: a handful of CDN/cloud ASes (Amazon, Cloudflare, Incapsula, ...)
+contribute enormous address counts and most of the aliased prefixes, while
+thousands of smaller hosters, ISPs and enterprises contribute a long tail.
+The registry captures that structure: each AS has a category, a size rank and
+a number of allocations; categories drive addressing schemes, service mix and
+aliasing probability downstream.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.addr.asnum import ASN
+
+
+class ASCategory(enum.Enum):
+    """Operator category of an autonomous system."""
+
+    CLOUD_CDN = "cloud_cdn"
+    HOSTER = "hoster"
+    EYEBALL_ISP = "eyeball_isp"
+    ACADEMIC = "academic"
+    ENTERPRISE = "enterprise"
+
+    @property
+    def serves_clients(self) -> bool:
+        return self is ASCategory.EYEBALL_ISP
+
+
+#: Named large operators mirroring those the paper repeatedly encounters.
+#: (name, category, relative address weight)
+NOTABLE_OPERATORS: tuple[tuple[str, ASCategory, float], ...] = (
+    ("Amazon", ASCategory.CLOUD_CDN, 30.0),
+    ("Cloudflare", ASCategory.CLOUD_CDN, 9.0),
+    ("Incapsula", ASCategory.CLOUD_CDN, 6.0),
+    ("Akamai", ASCategory.CLOUD_CDN, 6.0),
+    ("Google", ASCategory.CLOUD_CDN, 5.0),
+    ("Host Europe", ASCategory.HOSTER, 8.0),
+    ("Hetzner", ASCategory.HOSTER, 5.0),
+    ("Linode", ASCategory.HOSTER, 4.0),
+    ("OVH", ASCategory.HOSTER, 4.0),
+    ("DTAG", ASCategory.EYEBALL_ISP, 6.0),
+    ("Comcast", ASCategory.EYEBALL_ISP, 6.0),
+    ("ProXad", ASCategory.EYEBALL_ISP, 4.0),
+    ("Swisscom", ASCategory.EYEBALL_ISP, 3.0),
+    ("AT&T", ASCategory.EYEBALL_ISP, 3.0),
+    ("Reliance", ASCategory.EYEBALL_ISP, 3.0),
+    ("Versatel", ASCategory.EYEBALL_ISP, 2.0),
+    ("Antel", ASCategory.EYEBALL_ISP, 2.0),
+    ("HDNet", ASCategory.HOSTER, 2.0),
+    ("Online S.A.S.", ASCategory.HOSTER, 3.0),
+    ("Salesforce", ASCategory.ENTERPRISE, 2.0),
+    ("Yandex", ASCategory.CLOUD_CDN, 2.5),
+    ("Sunokman", ASCategory.HOSTER, 2.0),
+    ("Latnet Serviss", ASCategory.HOSTER, 1.5),
+    ("Freebit", ASCategory.HOSTER, 1.5),
+    ("Sakura", ASCategory.HOSTER, 1.5),
+    ("TransIP", ASCategory.HOSTER, 1.5),
+    ("AWeber", ASCategory.ENTERPRISE, 1.5),
+    ("Belpak", ASCategory.EYEBALL_ISP, 1.5),
+    ("Sky Broadband", ASCategory.EYEBALL_ISP, 2.0),
+    ("Google Fiber", ASCategory.EYEBALL_ISP, 1.5),
+    ("Xs4all", ASCategory.EYEBALL_ISP, 1.5),
+)
+
+#: Share of anonymous long-tail ASes per category.
+TAIL_CATEGORY_WEIGHTS: tuple[tuple[ASCategory, float], ...] = (
+    (ASCategory.HOSTER, 0.35),
+    (ASCategory.EYEBALL_ISP, 0.30),
+    (ASCategory.ENTERPRISE, 0.20),
+    (ASCategory.ACADEMIC, 0.10),
+    (ASCategory.CLOUD_CDN, 0.05),
+)
+
+
+@dataclass(slots=True)
+class ASDescriptor:
+    """One autonomous system of the simulated Internet."""
+
+    asn: ASN
+    category: ASCategory
+    #: Relative weight controlling how many addresses/prefixes the AS gets;
+    #: follows a heavy-tailed (Zipf-like) distribution.
+    weight: float
+    #: Number of allocation blocks (/32 or /48) announced by the AS.
+    num_allocations: int = 1
+
+    @property
+    def name(self) -> str:
+        return self.asn.name or f"AS{self.asn.number}"
+
+
+class ASRegistry:
+    """The population of ASes, built deterministically from a seed."""
+
+    def __init__(self, descriptors: list[ASDescriptor]):
+        self._descriptors = list(descriptors)
+        self._by_number = {d.asn.number: d for d in self._descriptors}
+
+    @classmethod
+    def build(cls, num_ases: int, rng: random.Random, zipf_exponent: float = 1.1) -> "ASRegistry":
+        """Create *num_ases* ASes: the notable operators plus a Zipf tail."""
+        if num_ases < len(NOTABLE_OPERATORS):
+            raise ValueError(
+                f"num_ases must be at least {len(NOTABLE_OPERATORS)} to host the notable operators"
+            )
+        descriptors: list[ASDescriptor] = []
+        next_asn = 64500
+        for name, category, weight in NOTABLE_OPERATORS:
+            allocations = max(1, int(round(weight / 3)))
+            descriptors.append(
+                ASDescriptor(
+                    asn=ASN(next_asn, name),
+                    category=category,
+                    weight=weight,
+                    num_allocations=allocations,
+                )
+            )
+            next_asn += 1
+        tail_count = num_ases - len(descriptors)
+        categories = [c for c, _ in TAIL_CATEGORY_WEIGHTS]
+        weights = [w for _, w in TAIL_CATEGORY_WEIGHTS]
+        for rank in range(1, tail_count + 1):
+            category = rng.choices(categories, weights)[0]
+            weight = 1.0 / (rank**zipf_exponent)
+            descriptors.append(
+                ASDescriptor(
+                    asn=ASN(next_asn, ""),
+                    category=category,
+                    weight=weight,
+                    num_allocations=1 if rng.random() < 0.8 else 2,
+                )
+            )
+            next_asn += 1
+        return cls(descriptors)
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __iter__(self):
+        return iter(self._descriptors)
+
+    def get(self, asn: int) -> ASDescriptor | None:
+        """Descriptor for an AS number, or None."""
+        return self._by_number.get(int(asn))
+
+    def name_of(self, asn: int) -> str:
+        """Human-readable name of an AS (falls back to ``ASxxxxx``)."""
+        descriptor = self.get(asn)
+        return descriptor.name if descriptor else f"AS{int(asn)}"
+
+    def by_category(self, category: ASCategory) -> list[ASDescriptor]:
+        """All ASes of a given category."""
+        return [d for d in self._descriptors if d.category is category]
+
+    @property
+    def descriptors(self) -> list[ASDescriptor]:
+        return list(self._descriptors)

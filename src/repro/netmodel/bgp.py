@@ -1,0 +1,80 @@
+"""BGP table of the simulated Internet.
+
+Announced prefixes are the frame of reference for most of the paper's
+analysis: hitlist addresses are mapped to their covering announcement
+(Figure 1c), APD runs on BGP prefixes in addition to hitlist-derived prefixes,
+and zesplots order rectangles by (prefix length, origin AS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.addr.address import IPv6Address
+from repro.addr.prefix import IPv6Prefix
+from repro.addr.trie import PrefixTrie
+
+
+@dataclass(frozen=True, slots=True)
+class BGPAnnouncement:
+    """One announced prefix with its origin AS."""
+
+    prefix: IPv6Prefix
+    origin_asn: int
+
+    def __str__(self) -> str:
+        return f"{self.prefix} (AS{self.origin_asn})"
+
+
+class BGPTable:
+    """Longest-prefix-match lookup over all announcements."""
+
+    def __init__(self, announcements: Iterable[BGPAnnouncement] = ()):
+        self._trie: PrefixTrie[BGPAnnouncement] = PrefixTrie()
+        self._announcements: list[BGPAnnouncement] = []
+        for ann in announcements:
+            self.add(ann)
+
+    def add(self, announcement: BGPAnnouncement) -> None:
+        """Insert an announcement (replaces a previous identical prefix)."""
+        if announcement.prefix not in self._trie:
+            self._announcements.append(announcement)
+        else:
+            self._announcements = [
+                a for a in self._announcements if a.prefix != announcement.prefix
+            ] + [announcement]
+        self._trie.insert(announcement.prefix, announcement)
+
+    def __len__(self) -> int:
+        return len(self._announcements)
+
+    def __iter__(self) -> Iterator[BGPAnnouncement]:
+        return iter(self._announcements)
+
+    @property
+    def prefixes(self) -> list[IPv6Prefix]:
+        """All announced prefixes."""
+        return [a.prefix for a in self._announcements]
+
+    def lookup(self, address: "IPv6Address | int | str") -> Optional[BGPAnnouncement]:
+        """Most specific announcement covering *address*, or None."""
+        return self._trie.lookup(address)
+
+    def origin_asn(self, address: "IPv6Address | int | str") -> Optional[int]:
+        """Origin AS of the most specific covering announcement."""
+        ann = self.lookup(address)
+        return None if ann is None else ann.origin_asn
+
+    def covering_prefix(self, address: "IPv6Address | int | str") -> Optional[IPv6Prefix]:
+        """The covering announced prefix for an address, or None."""
+        ann = self.lookup(address)
+        return None if ann is None else ann.prefix
+
+    def is_routed(self, address: "IPv6Address | int | str") -> bool:
+        """True when the address falls inside any announced prefix."""
+        return self.lookup(address) is not None
+
+    def announcements_by_asn(self, asn: int) -> list[BGPAnnouncement]:
+        """All announcements originated by one AS."""
+        return [a for a in self._announcements if a.origin_asn == asn]

@@ -1,0 +1,120 @@
+"""TCP/IP stack personalities for simulated hosts.
+
+Section 5.4 fingerprints aliased prefixes with the TCP options probe module:
+initial TTL, the option string (``MSS-SACK-TS-WS`` request), MSS, window
+size/scale and TCP timestamps (same value, monotonic counter, or linear
+counter with a good R^2 fit indicate a single underlying machine; Linux
+>= 4.10 randomises timestamp offsets per <SRC-IP, DST-IP> tuple and therefore
+fails those tests).
+
+A :class:`StackPersonality` is attached to every simulated host; all addresses
+bound to the same host answer with the same personality, which is exactly the
+property the paper's consistency checks look for.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.netmodel.services import Protocol
+
+
+class TimestampBehaviour(enum.Enum):
+    """How a host fills the TCP timestamp option."""
+
+    #: Single global counter since boot (classic Linux < 4.10, BSD): probes to
+    #: different addresses of the same machine observe one monotonic counter.
+    GLOBAL_MONOTONIC = "global_monotonic"
+    #: Per-destination randomised offset (Linux >= 4.10): each target address
+    #: appears to have its own counter.
+    PER_DESTINATION_RANDOM = "per_destination_random"
+    #: Timestamps disabled.
+    NONE = "none"
+
+
+#: Canonical initial TTL values observed in the wild.
+ITTL_CHOICES: tuple[int, ...] = (64, 255, 128, 32)
+ITTL_WEIGHTS: tuple[float, ...] = (0.70, 0.17, 0.12, 0.01)
+
+#: Most common option layout; the paper observes 99.5 % of responsive hosts
+#: returning MSS-SACK-TS-N-WS to the MSS-SACK-TS-WS probe.
+COMMON_OPTIONS_TEXT = "MSS-SACK-TS-N-WS"
+OPTION_TEXT_CHOICES: tuple[str, ...] = (
+    COMMON_OPTIONS_TEXT,
+    "MSS-SACK-TS-WS",
+    "MSS-N-WS-N-N-TS",
+    "MSS",
+    "MSS-WS-N-N-SACK",
+)
+OPTION_TEXT_WEIGHTS: tuple[float, ...] = (0.995, 0.002, 0.001, 0.001, 0.001)
+
+MSS_CHOICES: tuple[int, ...] = (1440, 1220, 1420, 1380, 8940)
+MSS_WEIGHTS: tuple[float, ...] = (0.72, 0.14, 0.08, 0.04, 0.02)
+
+WINDOW_SIZE_CHOICES: tuple[int, ...] = (28800, 64800, 65535, 14400, 5840)
+WINDOW_SCALE_CHOICES: tuple[int, ...] = (7, 8, 9, 5, 2)
+
+#: TCP timestamp tick rates (Hz) seen in practice.
+TS_RATES: tuple[int, ...] = (1000, 250, 100)
+
+
+@dataclass(frozen=True, slots=True)
+class StackPersonality:
+    """Immutable description of one host's TCP/IP stack behaviour."""
+
+    ittl: int
+    options_text: str
+    mss: int
+    window_size: int
+    window_scale: int
+    timestamp_behaviour: TimestampBehaviour
+    timestamp_rate: int
+    timestamp_offset: int
+
+    @classmethod
+    def sample(cls, rng: random.Random, modern_linux_share: float = 0.45) -> "StackPersonality":
+        """Draw a random but internally consistent personality.
+
+        ``modern_linux_share`` controls the fraction of hosts with
+        per-destination randomised timestamps (Linux >= 4.10), which the paper
+        notes would fail its timestamp consistency test even on truly aliased
+        machines.
+        """
+        roll = rng.random()
+        if roll < 0.08:
+            ts_behaviour = TimestampBehaviour.NONE
+        elif roll < 0.08 + modern_linux_share:
+            ts_behaviour = TimestampBehaviour.PER_DESTINATION_RANDOM
+        else:
+            ts_behaviour = TimestampBehaviour.GLOBAL_MONOTONIC
+        return cls(
+            ittl=rng.choices(ITTL_CHOICES, ITTL_WEIGHTS)[0],
+            options_text=rng.choices(OPTION_TEXT_CHOICES, OPTION_TEXT_WEIGHTS)[0],
+            mss=rng.choices(MSS_CHOICES, MSS_WEIGHTS)[0],
+            window_size=rng.choice(WINDOW_SIZE_CHOICES),
+            window_scale=rng.choice(WINDOW_SCALE_CHOICES),
+            timestamp_behaviour=ts_behaviour,
+            timestamp_rate=rng.choice(TS_RATES),
+            timestamp_offset=rng.getrandbits(31),
+        )
+
+    def timestamp_value(self, time_seconds: float, destination: int) -> int | None:
+        """The TSval this stack would report at *time_seconds* for a probe
+        addressed to *destination* (the 128-bit integer of the probed address).
+        """
+        if self.timestamp_behaviour is TimestampBehaviour.NONE:
+            return None
+        base = self.timestamp_offset + int(time_seconds * self.timestamp_rate)
+        if self.timestamp_behaviour is TimestampBehaviour.GLOBAL_MONOTONIC:
+            return base & 0xFFFFFFFF
+        # Per-destination randomisation: a deterministic offset derived from
+        # the destination address, stable over time but unrelated across
+        # addresses -- which is what breaks the monotonicity/R^2 tests.
+        per_dst = hash((destination, self.timestamp_offset)) & 0x7FFFFFFF
+        return (base + per_dst) & 0xFFFFFFFF
+
+    def options_for(self, protocol: Protocol) -> str:
+        """Option text included in a reply on *protocol* (TCP only)."""
+        return self.options_text if protocol.is_tcp else ""

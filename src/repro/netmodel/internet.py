@@ -1,0 +1,495 @@
+"""The simulated IPv6 Internet.
+
+:class:`SimulatedInternet` builds -- deterministically from a seed -- an
+Internet with the structural properties the paper relies on:
+
+* a heavy-tailed AS population with a few huge cloud/CDN players and a long
+  tail of hosters, eyeball ISPs, enterprises and academic networks;
+* per-network addressing schemes drawn from a small set (counters, structured
+  plans, random IIDs, EUI-64), so entropy clustering finds few clusters;
+* aliased regions (whole /48s or /64s bound to a single machine), centred on
+  the cloud/CDN ASes, covering roughly half of the address mass the sources
+  will observe;
+* per-host service deployment with strong cross-protocol correlations;
+* TCP/IP stack personalities for fingerprinting;
+* packet loss, ICMP rate limiting and SYN-proxy anomalies;
+* day-granular churn so longitudinal scans observe source-dependent decay.
+
+The measurement code in :mod:`repro.core` interacts with this class only
+through :meth:`SimulatedInternet.probe` and :meth:`SimulatedInternet.traceroute`;
+everything else is ground truth reserved for validation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.addr.address import IPv6Address, parse_address
+from repro.addr.generate import random_address_in_prefix
+from repro.addr.prefix import IPv6Prefix
+from repro.addr.trie import PrefixTrie
+from repro.netmodel.aliased import AliasedRegion
+from repro.netmodel.asregistry import ASCategory, ASDescriptor, ASRegistry
+from repro.netmodel.bgp import BGPAnnouncement, BGPTable
+from repro.netmodel.config import DEFAULT_CONFIG, InternetConfig
+from repro.netmodel.fingerprints import StackPersonality
+from repro.netmodel.host import Host, StabilityModel
+from repro.netmodel.packets import ProbeReply
+from repro.netmodel.schemes import (
+    AddressingScheme,
+    EYEBALL_SCHEME_WEIGHTS,
+    SERVER_SCHEME_WEIGHTS,
+    generate_address,
+    pick_scheme,
+)
+from repro.netmodel.services import HostRole, Protocol, profile_for
+from repro.netmodel.topology import RouterPath, Topology
+
+#: Base of the synthetic allocation space: allocation *i* is ``2001:i::/32``-like.
+_ALLOCATION_BASE = 0x2001 << 112
+
+#: Role mix per AS category: (role, share) pairs.
+_ROLE_MIX: dict[ASCategory, tuple[tuple[HostRole, float], ...]] = {
+    ASCategory.CLOUD_CDN: (
+        (HostRole.CDN_EDGE, 0.45),
+        (HostRole.WEB_SERVER, 0.40),
+        (HostRole.DNS_SERVER, 0.10),
+        (HostRole.MAIL_SERVER, 0.05),
+    ),
+    ASCategory.HOSTER: (
+        (HostRole.WEB_SERVER, 0.58),
+        (HostRole.DNS_SERVER, 0.15),
+        (HostRole.MAIL_SERVER, 0.15),
+        (HostRole.ROUTER, 0.08),
+        (HostRole.CLIENT, 0.04),
+    ),
+    ASCategory.EYEBALL_ISP: (
+        (HostRole.CPE, 0.48),
+        (HostRole.CLIENT, 0.32),
+        (HostRole.ROUTER, 0.10),
+        (HostRole.WEB_SERVER, 0.05),
+        (HostRole.DNS_SERVER, 0.03),
+        (HostRole.ATLAS_PROBE, 0.02),
+    ),
+    ASCategory.ENTERPRISE: (
+        (HostRole.WEB_SERVER, 0.40),
+        (HostRole.MAIL_SERVER, 0.20),
+        (HostRole.DNS_SERVER, 0.10),
+        (HostRole.ROUTER, 0.10),
+        (HostRole.CLIENT, 0.20),
+    ),
+    ASCategory.ACADEMIC: (
+        (HostRole.WEB_SERVER, 0.30),
+        (HostRole.DNS_SERVER, 0.20),
+        (HostRole.ROUTER, 0.20),
+        (HostRole.CLIENT, 0.25),
+        (HostRole.ATLAS_PROBE, 0.05),
+    ),
+}
+
+
+@dataclass(slots=True)
+class NetworkPlan:
+    """Ground truth for one allocation block of one AS."""
+
+    allocation: IPv6Prefix
+    asn: int
+    category: ASCategory
+    scheme: AddressingScheme
+    announced: list[IPv6Prefix] = field(default_factory=list)
+    hosts: list[Host] = field(default_factory=list)
+    aliased: list[AliasedRegion] = field(default_factory=list)
+
+
+class SimulatedInternet:
+    """A deterministic, probe-able model of the IPv6 Internet."""
+
+    def __init__(self, config: InternetConfig = DEFAULT_CONFIG):
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._probe_rng = random.Random(config.seed ^ 0x5EED)
+        self.registry = ASRegistry.build(config.num_ases, self._rng)
+        self.bgp = BGPTable()
+        self.topology = Topology(random.Random(config.seed ^ 0x70B0))
+        self.plans: list[NetworkPlan] = []
+        self.hosts: list[Host] = []
+        self.aliased_regions: list[AliasedRegion] = []
+        self._host_by_address: dict[int, Host] = {}
+        self._aliased_trie: PrefixTrie[AliasedRegion] = PrefixTrie()
+        self._icmp_rate_limited: PrefixTrie[float] = PrefixTrie()
+        self._plan_by_announcement: dict[IPv6Prefix, NetworkPlan] = {}
+        self._next_host_id = 0
+        # Per-address lookup cache: repeated scans hit the same addresses on
+        # several protocols and days, so trie walks are memoised.
+        self._probe_cache: dict[
+            int, tuple[bool, Optional[float], Optional[AliasedRegion], Optional[Host]]
+        ] = {}
+        # Popular /64 pods per aliased region, grown lazily by
+        # sample_aliased_addresses (keyed by region identity).
+        self._aliased_pods: dict[int, list[IPv6Prefix]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ build
+
+    def _build(self) -> None:
+        allocation_index = 0
+        for descriptor in self.registry:
+            for _ in range(descriptor.num_allocations):
+                plan = self._build_allocation(descriptor, allocation_index)
+                allocation_index += 1
+                self.plans.append(plan)
+        self._register_anomalies()
+
+    def _build_allocation(self, descriptor: ASDescriptor, index: int) -> NetworkPlan:
+        rng = self._rng
+        cfg = self.config
+        allocation = IPv6Prefix(_ALLOCATION_BASE | (index << 96), 32)
+        weights = (
+            EYEBALL_SCHEME_WEIGHTS
+            if descriptor.category is ASCategory.EYEBALL_ISP
+            else SERVER_SCHEME_WEIGHTS
+        )
+        plan = NetworkPlan(
+            allocation=allocation,
+            asn=descriptor.asn.number,
+            category=descriptor.category,
+            scheme=pick_scheme(weights, rng),
+        )
+
+        # --- announcements -------------------------------------------------
+        if rng.random() < cfg.deaggregation_rate:
+            # Deaggregate into a handful of /40s or /48s.
+            new_len = rng.choice((40, 48))
+            count = rng.randint(2, 6)
+            subnets = list(allocation.subnets(new_len))
+            announced = sorted(rng.sample(range(len(subnets)), min(count, len(subnets))))
+            plan.announced = [subnets[i] for i in announced]
+        else:
+            plan.announced = [allocation]
+        # A small share of very specific announcements for realism (zesplot
+        # shows /56.. /127 rectangles in the bottom-right corner).
+        if rng.random() < 0.06:
+            tiny_len = rng.choice((56, 64, 112, 127))
+            plan.announced.append(allocation.nth_subnet(tiny_len, 1))
+        for prefix in plan.announced:
+            self.bgp.add(BGPAnnouncement(prefix=prefix, origin_asn=plan.asn))
+            self._plan_by_announcement[prefix] = plan
+
+        # --- hosts ----------------------------------------------------------
+        host_count = int(cfg.base_hosts_per_allocation * descriptor.weight * rng.uniform(0.6, 1.4))
+        host_count = max(1, min(cfg.max_hosts_per_allocation, host_count))
+        roles = _ROLE_MIX[descriptor.category]
+        role_names = [r for r, _ in roles]
+        role_weights = [w for _, w in roles]
+        address_index = 0
+        for _ in range(host_count):
+            role = rng.choices(role_names, role_weights)[0]
+            host = self._make_host(plan, role, address_index, rng)
+            address_index += len(host.addresses)
+            plan.hosts.append(host)
+            self.hosts.append(host)
+            for addr in host.addresses:
+                self._host_by_address[addr.value] = host
+
+        # --- aliased regions -------------------------------------------------
+        self._add_aliased_regions(plan, descriptor, rng)
+
+        # --- ICMP rate limiting ----------------------------------------------
+        if rng.random() < cfg.icmp_rate_limited_share:
+            self._icmp_rate_limited.insert(allocation, rng.uniform(0.4, 0.8))
+        return plan
+
+    def _host_scheme(self, plan: NetworkPlan, role: HostRole) -> AddressingScheme:
+        """Per-host addressing scheme: clients/CPE override the network plan."""
+        if role is HostRole.CLIENT:
+            return AddressingScheme.RANDOM_IID
+        if role is HostRole.CPE:
+            return AddressingScheme.EUI64_CPE
+        if role is HostRole.ROUTER and plan.category is ASCategory.EYEBALL_ISP:
+            return AddressingScheme.LOW_COUNTER
+        return plan.scheme
+
+    def _make_host(
+        self, plan: NetworkPlan, role: HostRole, address_index: int, rng: random.Random
+    ) -> Host:
+        cfg = self.config
+        scheme = self._host_scheme(plan, role)
+        # Hosts live inside one of the announced prefixes of the allocation.
+        prefix = rng.choice(plan.announced)
+        num_addresses = 1
+        if role in (HostRole.WEB_SERVER, HostRole.CDN_EDGE) and rng.random() < 0.2:
+            num_addresses = rng.randint(2, 4)
+        addresses = []
+        for i in range(num_addresses):
+            addresses.append(generate_address(scheme, prefix, address_index + i, rng))
+        addresses = list(dict.fromkeys(addresses))
+        services = profile_for(role).sample_services(rng)
+        personality = StackPersonality.sample(rng, cfg.modern_linux_share)
+        stability = self._stability_for(role, rng)
+        host = Host(
+            host_id=self._next_host_id,
+            role=role,
+            asn=plan.asn,
+            addresses=tuple(addresses),
+            services=services,
+            personality=personality,
+            stability=stability,
+            hops=rng.randint(5, 14),
+        )
+        self._next_host_id += 1
+        return host
+
+    def _stability_for(self, role: HostRole, rng: random.Random) -> StabilityModel:
+        cfg = self.config
+        seed = rng.getrandbits(32)
+        if role in (HostRole.CLIENT,):
+            birth = rng.randint(0, max(0, cfg.study_days - 2))
+            lifetime = max(1, int(rng.expovariate(1 / 4.0)))
+            return StabilityModel(
+                birth_day=birth,
+                death_day=birth + lifetime,
+                daily_uptime=cfg.client_daily_uptime,
+                flap_seed=seed,
+            )
+        if role is HostRole.CPE:
+            death = None if rng.random() < 0.75 else rng.randint(5, cfg.study_days + 20)
+            return StabilityModel(
+                birth_day=0, death_day=death, daily_uptime=cfg.cpe_daily_uptime, flap_seed=seed
+            )
+        if role is HostRole.ROUTER:
+            return StabilityModel(birth_day=0, death_day=None, daily_uptime=0.97, flap_seed=seed)
+        death = None if rng.random() < 0.97 else rng.randint(10, cfg.study_days + 40)
+        return StabilityModel(
+            birth_day=0, death_day=death, daily_uptime=cfg.server_daily_uptime, flap_seed=seed
+        )
+
+    def _add_aliased_regions(
+        self, plan: NetworkPlan, descriptor: ASDescriptor, rng: random.Random
+    ) -> None:
+        cfg = self.config
+        if descriptor.category is ASCategory.CLOUD_CDN:
+            if rng.random() > cfg.aliased_region_rate:
+                return
+            count = cfg.aliased_regions_per_cdn_allocation
+            # The single largest operator (Amazon analogue) aliases far more /48s.
+            if descriptor.name == "Amazon":
+                count *= 5
+            subnet_indices = rng.sample(range(2, 2 + 4 * count), count)
+            for subnet_index in subnet_indices:
+                region_prefix = plan.allocation.nth_subnet(48, subnet_index)
+                self._register_aliased_region(plan, region_prefix, rng)
+        elif descriptor.category is ASCategory.HOSTER:
+            if rng.random() > cfg.aliased_region_rate * 0.25:
+                return
+            length = rng.choice((64, 96))
+            region_prefix = plan.allocation.nth_subnet(length, rng.randrange(1, 200))
+            self._register_aliased_region(plan, region_prefix, rng)
+
+    def _register_aliased_region(
+        self,
+        plan: NetworkPlan,
+        prefix: IPv6Prefix,
+        rng: random.Random,
+        *,
+        syn_proxy: bool = False,
+        icmp_rate_limit: float | None = None,
+        answer_probability: float = 1.0,
+    ) -> AliasedRegion:
+        # Most aliased regions are CDN front-ends answering ICMP and TCP; a
+        # quarter answer ICMP only (ping-responsive prefixes without TCP
+        # services), which is what single-protocol /96 detection misses and
+        # cross-protocol multi-level APD still catches (Section 5.5).
+        if rng.random() < 0.25:
+            services = {Protocol.ICMP}
+        else:
+            services = {Protocol.ICMP, Protocol.TCP80, Protocol.TCP443}
+            if rng.random() < 0.3:
+                services.add(Protocol.UDP443)
+        host = Host(
+            host_id=self._next_host_id,
+            role=HostRole.CDN_EDGE,
+            asn=plan.asn,
+            addresses=(prefix.first + 1,),
+            services=frozenset(services),
+            personality=StackPersonality.sample(rng, self.config.modern_linux_share),
+            stability=StabilityModel(daily_uptime=0.999),
+            hops=rng.randint(4, 10),
+        )
+        self._next_host_id += 1
+        region = AliasedRegion(
+            prefix=prefix,
+            host=host,
+            syn_proxy=syn_proxy,
+            icmp_rate_limit=icmp_rate_limit,
+            answer_probability=answer_probability,
+        )
+        plan.aliased.append(region)
+        self.aliased_regions.append(region)
+        self._aliased_trie.insert(prefix, region)
+        # Aliased regions must be reachable: if the plan's announcements do not
+        # cover the region (deaggregated allocation), announce the region
+        # prefix itself -- CDNs do announce such /48s directly.
+        if not self.bgp.is_routed(prefix.first):
+            self.bgp.add(BGPAnnouncement(prefix=prefix, origin_asn=plan.asn))
+            self._plan_by_announcement[prefix] = plan
+            plan.announced.append(prefix)
+        return region
+
+    def _register_anomalies(self) -> None:
+        """Add the Section 5.1 anomaly cases: SYN proxy, rate-limited /120s."""
+        rng = self._rng
+        cdn_plans = [p for p in self.plans if p.category is ASCategory.CLOUD_CDN]
+        if not cdn_plans:
+            return
+        plan = cdn_plans[0]
+        # A /80 behind a SYN proxy: answers a varying subset of TCP probes.
+        syn_prefix = plan.allocation.nth_subnet(80, 3)
+        self._register_aliased_region(plan, syn_prefix, rng, syn_proxy=True)
+        # Six neighbouring /120s with ICMP rate limiting.
+        base = plan.allocation.nth_subnet(120, 4096)
+        for i in range(6):
+            prefix = IPv6Prefix(base.network + i * base.num_addresses, 120)
+            self._register_aliased_region(plan, prefix, rng, icmp_rate_limit=0.7)
+
+    # ------------------------------------------------------------------ probing
+
+    def probe(
+        self,
+        address: "IPv6Address | int | str",
+        protocol: Protocol,
+        day: int = 0,
+        time_of_day: float = 43200.0,
+        rng: Optional[random.Random] = None,
+    ) -> Optional[ProbeReply]:
+        """Send one probe; return the reply or ``None`` for silence.
+
+        This is the only interface the measurement pipeline uses.  Loss, ICMP
+        rate limiting and aliased behaviour are applied here.
+        """
+        rng = rng or self._probe_rng
+        addr = address if isinstance(address, IPv6Address) else parse_address(address)
+        if rng.random() < self.config.packet_loss:
+            return None
+        cached = self._probe_cache.get(addr.value)
+        if cached is None:
+            cached = (
+                self.bgp.is_routed(addr),
+                self._icmp_rate_limited.lookup(addr),
+                self._aliased_trie.lookup(addr),
+                self._host_by_address.get(addr.value),
+            )
+            self._probe_cache[addr.value] = cached
+        routed, icmp_limit, region, host = cached
+        if not routed:
+            return None
+        if protocol is Protocol.ICMP and icmp_limit is not None:
+            if rng.random() > icmp_limit:
+                return None
+        if region is not None:
+            return region.reply(addr, protocol, day, rng, time_of_day)
+        if host is None:
+            return None
+        return host.reply(addr, protocol, day, time_of_day)
+
+    def traceroute(
+        self,
+        address: "IPv6Address | int | str",
+        day: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> list[IPv6Address]:
+        """Router hops observed on the path towards *address*.
+
+        Per-hop loss is applied, mirroring real traceroutes with missing hops.
+        """
+        rng = rng or self._probe_rng
+        addr = address if isinstance(address, IPv6Address) else parse_address(address)
+        announcement = self.bgp.lookup(addr)
+        if announcement is None:
+            return []
+        plan = self._plan_by_announcement.get(announcement.prefix)
+        if plan is None:
+            return []
+        path = self.topology.build_path(announcement.prefix, plan.category, plan.allocation)
+        hops = [h for h in path.hops if rng.random() > self.config.packet_loss * 2]
+        return hops
+
+    # ------------------------------------------------------------------ ground truth
+
+    def aliased_prefixes(self) -> list[IPv6Prefix]:
+        """Ground-truth aliased prefixes (for validation only)."""
+        return [region.prefix for region in self.aliased_regions]
+
+    def is_aliased_truth(self, address: "IPv6Address | int | str") -> bool:
+        """Ground truth: does *address* fall inside an aliased region?"""
+        return self._aliased_trie.lookup(address) is not None
+
+    def asn_of(self, address: "IPv6Address | int | str") -> Optional[int]:
+        """Origin AS of the announcement covering *address*."""
+        return self.bgp.origin_asn(address)
+
+    def hosts_by_role(self, *roles: HostRole) -> list[Host]:
+        """All hosts having one of the given roles."""
+        wanted = set(roles)
+        return [h for h in self.hosts if h.role in wanted]
+
+    def addresses_by_role(self, *roles: HostRole) -> list[IPv6Address]:
+        """All bound addresses of hosts having one of the given roles."""
+        return [a for h in self.hosts_by_role(*roles) for a in h.addresses]
+
+    def all_bound_addresses(self) -> list[IPv6Address]:
+        """Every individually bound address in the simulation."""
+        return [IPv6Address(v) for v in self._host_by_address]
+
+    def host_of(self, address: "IPv6Address | int | str") -> Optional[Host]:
+        """The host owning *address*: bound host or covering aliased machine."""
+        addr = address if isinstance(address, IPv6Address) else parse_address(address)
+        host = self._host_by_address.get(addr.value)
+        if host is not None:
+            return host
+        region = self._aliased_trie.lookup(addr)
+        return region.host if region is not None else None
+
+    def sample_aliased_addresses(self, count: int, rng: random.Random) -> list[IPv6Address]:
+        """Sample addresses inside aliased regions.
+
+        This models what DNS-derived sources observe for CDNs: enormous
+        numbers of names resolving to distinct addresses of aliased prefixes.
+        As in the real hitlist, those addresses are *clustered*: a region has
+        a limited set of popular /64 pods (load-balancer blocks) and names map
+        to pseudo-random addresses inside them, so the hitlist ends up with
+        many addresses per /64 but mostly distinct /96s -- the density regime
+        that makes multi-level /64 APD much cheaper than per-/96 probing.
+        """
+        if not self.aliased_regions or count <= 0:
+            return []
+        # Larger aliased regions (CDN /48s) host far more names than tiny /96s
+        # or /120s, so sampling weights regions by their prefix size.
+        weights = [float(129 - region.prefix.length) for region in self.aliased_regions]
+        result = []
+        for _ in range(count):
+            region = rng.choices(self.aliased_regions, weights)[0]
+            pods = self._aliased_pods.get(id(region))
+            if pods is None:
+                pods = []
+                self._aliased_pods[id(region)] = pods
+            # Keep roughly 15 addresses per pod by opening a new /64 pod with
+            # probability 1/15 (always for the first draw of a region).
+            if not pods or (region.prefix.length <= 60 and rng.random() < 1 / 15):
+                pod_length = max(64, region.prefix.length)
+                pods.append(
+                    IPv6Prefix.of(random_address_in_prefix(region.prefix, rng), pod_length)
+                )
+            pod = rng.choice(pods)
+            result.append(random_address_in_prefix(pod, rng))
+        return result
+
+    def plan_of_asn(self, asn: int) -> list[NetworkPlan]:
+        """All allocation plans of one AS."""
+        return [p for p in self.plans if p.asn == asn]
+
+    @property
+    def num_announced_prefixes(self) -> int:
+        """Number of BGP announcements."""
+        return len(self.bgp)

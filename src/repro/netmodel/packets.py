@@ -1,0 +1,69 @@
+"""Probe replies observed by the measurement side.
+
+A reply carries exactly the header fields the paper's fingerprinting case
+study (Section 5.4) extracts from ZMap's TCP-options probe module: the IP
+hop-limit (TTL) as received, and for TCP the option string, MSS, window size,
+window scale and the remote TCP timestamp value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.addr.address import IPv6Address
+from repro.netmodel.services import Protocol
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeReply:
+    """A single reply to one probe packet.
+
+    Parameters
+    ----------
+    address:
+        The target address that answered.
+    protocol:
+        The probed protocol.
+    ttl:
+        Hop limit observed at the prober (initial TTL minus path length).
+    options_text:
+        TCP options as an order-preserving string (e.g. ``"MSS-SACK-TS-N-WS"``),
+        empty for non-TCP replies.
+    mss, window_size, window_scale:
+        TCP header fields, ``None`` for non-TCP replies.
+    tcp_timestamp:
+        Remote TSval, ``None`` when timestamps are disabled or not TCP.
+    receive_time:
+        Prober-side receive timestamp in seconds since the epoch of the
+        simulation (day * 86400 + offset).
+    """
+
+    address: IPv6Address
+    protocol: Protocol
+    ttl: int
+    options_text: str = ""
+    mss: Optional[int] = None
+    window_size: Optional[int] = None
+    window_scale: Optional[int] = None
+    tcp_timestamp: Optional[int] = None
+    receive_time: float = 0.0
+
+    @property
+    def ittl(self) -> int:
+        """The likely initial TTL: the observed TTL rounded up to 32/64/128/255."""
+        return initial_ttl(self.ttl)
+
+
+def initial_ttl(observed_ttl: int) -> int:
+    """Round an observed TTL up to the next canonical initial value.
+
+    The paper replaces raw TTLs with the likely initial TTL (iTTL), one of
+    32, 64, 128 or 255, to remove path-length effects (Section 5.4).
+    """
+    if observed_ttl < 0 or observed_ttl > 255:
+        raise ValueError(f"TTL out of range: {observed_ttl}")
+    for candidate in (32, 64, 128):
+        if observed_ttl <= candidate:
+            return candidate
+    return 255

@@ -1,0 +1,211 @@
+"""Protocols, host roles and service deployment profiles.
+
+The paper probes five protocols (Section 6): ICMPv6 echo, TCP/80, TCP/443,
+UDP/53 (DNS) and UDP/443 (QUIC).  Which protocols a host answers depends on
+what it is -- a web server, a DNS resolver, a router, a CPE box or an end
+client -- and that dependency is what produces the conditional-responsiveness
+structure of Figure 7 (e.g. "if QUIC answers, HTTPS almost certainly answers",
+"almost everything that answers anything answers ICMPv6").
+
+:class:`ServiceProfile` captures those per-role deployment probabilities; the
+simulator samples one concrete service set per host at build time.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping
+
+
+class Protocol(enum.Enum):
+    """Probe protocols used by the daily ZMapv6 scans."""
+
+    ICMP = "icmp"
+    TCP80 = "tcp80"
+    TCP443 = "tcp443"
+    UDP53 = "udp53"
+    UDP443 = "udp443"
+
+    @property
+    def is_tcp(self) -> bool:
+        return self in (Protocol.TCP80, Protocol.TCP443)
+
+    @property
+    def is_udp(self) -> bool:
+        return self in (Protocol.UDP53, Protocol.UDP443)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Scan order used throughout tables and figures.
+ALL_PROTOCOLS: tuple[Protocol, ...] = (
+    Protocol.ICMP,
+    Protocol.TCP80,
+    Protocol.TCP443,
+    Protocol.UDP53,
+    Protocol.UDP443,
+)
+
+
+class HostRole(enum.Enum):
+    """What kind of machine a simulated host is."""
+
+    WEB_SERVER = "web_server"
+    DNS_SERVER = "dns_server"
+    MAIL_SERVER = "mail_server"
+    CDN_EDGE = "cdn_edge"
+    ROUTER = "router"
+    CPE = "cpe"
+    CLIENT = "client"
+    ATLAS_PROBE = "atlas_probe"
+
+    @property
+    def is_server(self) -> bool:
+        return self in (
+            HostRole.WEB_SERVER,
+            HostRole.DNS_SERVER,
+            HostRole.MAIL_SERVER,
+            HostRole.CDN_EDGE,
+        )
+
+    @property
+    def is_infrastructure(self) -> bool:
+        return self in (HostRole.ROUTER, HostRole.CPE)
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Per-protocol deployment probabilities for one host role.
+
+    ``base`` gives the marginal probability that a host of this role runs a
+    responsive service on each protocol.  ``implies`` lists conditional
+    overrides applied when another protocol was already selected, which is how
+    the strong Figure-7 correlations (QUIC -> HTTPS -> HTTP, anything -> ICMP)
+    are produced.
+    """
+
+    role: HostRole
+    base: Mapping[Protocol, float]
+    implies: Mapping[tuple[Protocol, Protocol], float] = field(default_factory=dict)
+
+    def sample_services(self, rng: random.Random) -> FrozenSet[Protocol]:
+        """Draw a concrete set of responsive protocols for one host."""
+        chosen: set[Protocol] = set()
+        # Sample in a fixed order so conditional overrides see earlier picks.
+        for proto in ALL_PROTOCOLS:
+            p = self.base.get(proto, 0.0)
+            for prior in chosen:
+                p = max(p, self.implies.get((prior, proto), 0.0))
+            if rng.random() < p:
+                chosen.add(proto)
+        return frozenset(chosen)
+
+
+#: Deployment profiles per role.  Probabilities are chosen so that the
+#: aggregate conditional-responsiveness matrix reproduces the shape of
+#: Figure 7: ICMP is near-universal among responsive hosts, QUIC implies
+#: HTTP(S) almost surely, DNS servers are a mostly separate population.
+PROFILES: dict[HostRole, ServiceProfile] = {
+    HostRole.WEB_SERVER: ServiceProfile(
+        role=HostRole.WEB_SERVER,
+        base={
+            Protocol.ICMP: 0.96,
+            Protocol.TCP80: 0.92,
+            Protocol.TCP443: 0.78,
+            Protocol.UDP53: 0.04,
+            Protocol.UDP443: 0.08,
+        },
+        implies={
+            (Protocol.TCP443, Protocol.TCP80): 0.91,
+            (Protocol.UDP443, Protocol.TCP443): 0.98,
+            (Protocol.UDP443, Protocol.TCP80): 0.98,
+            (Protocol.TCP80, Protocol.ICMP): 0.97,
+            (Protocol.TCP443, Protocol.ICMP): 0.97,
+        },
+    ),
+    HostRole.CDN_EDGE: ServiceProfile(
+        role=HostRole.CDN_EDGE,
+        base={
+            Protocol.ICMP: 0.98,
+            Protocol.TCP80: 0.97,
+            Protocol.TCP443: 0.96,
+            Protocol.UDP53: 0.05,
+            Protocol.UDP443: 0.45,
+        },
+        implies={
+            (Protocol.UDP443, Protocol.TCP443): 0.99,
+            (Protocol.UDP443, Protocol.TCP80): 0.99,
+            (Protocol.TCP443, Protocol.TCP80): 0.97,
+            (Protocol.TCP80, Protocol.ICMP): 0.99,
+        },
+    ),
+    HostRole.DNS_SERVER: ServiceProfile(
+        role=HostRole.DNS_SERVER,
+        base={
+            Protocol.ICMP: 0.92,
+            Protocol.TCP80: 0.12,
+            Protocol.TCP443: 0.10,
+            Protocol.UDP53: 0.97,
+            Protocol.UDP443: 0.01,
+        },
+        implies={(Protocol.UDP53, Protocol.ICMP): 0.93},
+    ),
+    HostRole.MAIL_SERVER: ServiceProfile(
+        role=HostRole.MAIL_SERVER,
+        base={
+            Protocol.ICMP: 0.94,
+            Protocol.TCP80: 0.35,
+            Protocol.TCP443: 0.30,
+            Protocol.UDP53: 0.10,
+            Protocol.UDP443: 0.01,
+        },
+    ),
+    HostRole.ROUTER: ServiceProfile(
+        role=HostRole.ROUTER,
+        base={
+            Protocol.ICMP: 0.85,
+            Protocol.TCP80: 0.03,
+            Protocol.TCP443: 0.03,
+            Protocol.UDP53: 0.05,
+            Protocol.UDP443: 0.0,
+        },
+    ),
+    HostRole.CPE: ServiceProfile(
+        role=HostRole.CPE,
+        base={
+            Protocol.ICMP: 0.70,
+            Protocol.TCP80: 0.06,
+            Protocol.TCP443: 0.05,
+            Protocol.UDP53: 0.03,
+            Protocol.UDP443: 0.0,
+        },
+    ),
+    HostRole.CLIENT: ServiceProfile(
+        role=HostRole.CLIENT,
+        base={
+            Protocol.ICMP: 0.20,
+            Protocol.TCP80: 0.01,
+            Protocol.TCP443: 0.01,
+            Protocol.UDP53: 0.0,
+            Protocol.UDP443: 0.0,
+        },
+    ),
+    HostRole.ATLAS_PROBE: ServiceProfile(
+        role=HostRole.ATLAS_PROBE,
+        base={
+            Protocol.ICMP: 0.95,
+            Protocol.TCP80: 0.02,
+            Protocol.TCP443: 0.02,
+            Protocol.UDP53: 0.01,
+            Protocol.UDP443: 0.0,
+        },
+    ),
+}
+
+
+def profile_for(role: HostRole) -> ServiceProfile:
+    """The deployment profile for *role*."""
+    return PROFILES[role]

@@ -1,0 +1,86 @@
+"""Router-level topology for traceroute simulation.
+
+The scamper source of Section 3 grows explosively because traceroutes towards
+hitlist targets reveal router and CPE addresses along the path -- 90.7 % of
+them SLAAC (``ff:fe``) home-router addresses from ZTE and AVM devices.  The
+topology model gives every announced prefix a router path from the single
+measurement vantage point: a short backbone segment shared per upstream, a
+couple of provider-core routers, and for eyeball networks a last-hop CPE with
+an EUI-64 address.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.addr.address import IPv6Address
+from repro.addr.prefix import IPv6Prefix
+from repro.netmodel.asregistry import ASCategory
+from repro.netmodel.vendors import CPE_VENDORS, eui64_iid_from_mac, pick_vendor, random_mac
+
+
+@dataclass(frozen=True, slots=True)
+class RouterPath:
+    """The sequence of router addresses towards one destination prefix."""
+
+    prefix: IPv6Prefix
+    hops: tuple[IPv6Address, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.hops)
+
+
+class Topology:
+    """Per-prefix router paths from the measurement vantage point."""
+
+    #: Prefix in which synthetic backbone router addresses live.
+    BACKBONE_PREFIX = IPv6Prefix.parse("2001:678:ffff::/48")
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._backbone: list[IPv6Address] = [
+            IPv6Address(self.BACKBONE_PREFIX.network | (i + 1)) for i in range(24)
+        ]
+        self._paths: dict[IPv6Prefix, RouterPath] = {}
+
+    def build_path(
+        self, prefix: IPv6Prefix, category: ASCategory, allocation: IPv6Prefix
+    ) -> RouterPath:
+        """Create (and memoise) the router path towards *prefix*."""
+        existing = self._paths.get(prefix)
+        if existing is not None:
+            return existing
+        rng = self._rng
+        hops: list[IPv6Address] = []
+        # 2-4 shared backbone hops.
+        start = rng.randrange(0, len(self._backbone) - 4)
+        hops.extend(self._backbone[start : start + rng.randint(2, 4)])
+        # 1-3 provider-core routers inside the destination allocation, using
+        # low-counter infrastructure addressing.
+        for i in range(rng.randint(1, 3)):
+            hops.append(IPv6Address(allocation.network | (0xFFFF << 64) | (i + 1)))
+        # Eyeball networks terminate in a CPE with an EUI-64 address.
+        if category is ASCategory.EYEBALL_ISP:
+            vendor = pick_vendor(rng, CPE_VENDORS)
+            iid = eui64_iid_from_mac(random_mac(vendor, rng))
+            subnet = rng.getrandbits(8)
+            hops.append(IPv6Address(prefix.network | (subnet << 64) | iid))
+        path = RouterPath(prefix=prefix, hops=tuple(hops))
+        self._paths[prefix] = path
+        return path
+
+    def path_for(self, prefix: IPv6Prefix) -> RouterPath | None:
+        """Previously built path towards *prefix*, or None."""
+        return self._paths.get(prefix)
+
+    @property
+    def backbone_routers(self) -> list[IPv6Address]:
+        """The shared backbone router addresses."""
+        return list(self._backbone)
+
+    @property
+    def known_paths(self) -> list[RouterPath]:
+        """All paths built so far."""
+        return list(self._paths.values())

@@ -1,0 +1,83 @@
+"""MAC vendor OUI pool for SLAAC / EUI-64 interface identifiers.
+
+Section 3 of the paper inspects the vendor codes embedded in the EUI-64
+addresses harvested by scamper and finds that the traceroute source is
+dominated by home routers: 47.9 % ZTE, 47.7 % AVM (Fritzbox), 1.2 % Huawei and
+a long tail of 240 other vendors.  The simulator reproduces that mix when it
+assigns MAC-derived interface identifiers to CPE devices.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Vendor:
+    """A MAC address vendor with one representative OUI."""
+
+    name: str
+    oui: int
+    share: float
+
+
+#: CPE vendor population mirroring the paper's scamper findings.
+CPE_VENDORS: tuple[Vendor, ...] = (
+    Vendor("ZTE", 0x001E73, 0.479),
+    Vendor("AVM", 0x3810D5, 0.477),
+    Vendor("Huawei", 0x00259E, 0.012),
+    Vendor("TP-Link", 0x14CC20, 0.008),
+    Vendor("Sagemcom", 0x7C034C, 0.008),
+    Vendor("Technicolor", 0xA4B1E9, 0.006),
+    Vendor("Cisco", 0x00000C, 0.004),
+    Vendor("Juniper", 0x002283, 0.003),
+    Vendor("MikroTik", 0x4C5E0C, 0.002),
+    Vendor("Netgear", 0x204E7F, 0.001),
+)
+
+#: Server/NIC vendors used for the minority of servers that use EUI-64.
+SERVER_VENDORS: tuple[Vendor, ...] = (
+    Vendor("Intel", 0x001B21, 0.5),
+    Vendor("Dell", 0x14FEB5, 0.2),
+    Vendor("HPE", 0x9457A5, 0.15),
+    Vendor("Supermicro", 0x002590, 0.15),
+)
+
+_OUI_NAMES = {v.oui: v.name for v in CPE_VENDORS + SERVER_VENDORS}
+
+
+def pick_vendor(rng: random.Random, pool: tuple[Vendor, ...] = CPE_VENDORS) -> Vendor:
+    """Draw a vendor from *pool* according to the configured shares."""
+    total = sum(v.share for v in pool)
+    x = rng.random() * total
+    acc = 0.0
+    for vendor in pool:
+        acc += vendor.share
+        if x < acc:
+            return vendor
+    return pool[-1]
+
+
+def vendor_name(oui: int) -> str | None:
+    """Human-readable vendor name for an OUI, if known to the pool."""
+    return _OUI_NAMES.get(oui)
+
+
+def random_mac(vendor: Vendor, rng: random.Random) -> int:
+    """A 48-bit MAC address with the vendor's OUI and random NIC bytes."""
+    return (vendor.oui << 24) | rng.getrandbits(24)
+
+
+def eui64_iid_from_mac(mac: int) -> int:
+    """Build a modified EUI-64 interface identifier from a 48-bit MAC.
+
+    Following RFC 4291 Appendix A: split the MAC in half, insert ``0xfffe``
+    and flip the universal/local bit.
+    """
+    if not 0 <= mac < 1 << 48:
+        raise ValueError("MAC address must be 48 bits")
+    upper = (mac >> 24) & 0xFFFFFF
+    lower = mac & 0xFFFFFF
+    iid = (upper << 40) | (0xFFFE << 24) | lower
+    return iid ^ (1 << 57)  # flip U/L bit (bit 6 of the first octet)

@@ -1,0 +1,25 @@
+"""zesplot: squarified-treemap visualization of IPv6 prefix sets.
+
+The paper introduces zesplot to make large IPv6 datasets explorable without
+drawing the whole 2^128 space: only the prefixes given as input are plotted,
+each as a rectangle sized (or not) by its prefix length and coloured by a
+per-prefix value such as the number of hitlist addresses or responses
+(Figures 1c, 3b, 5, 6).
+
+* :mod:`repro.plotting.zesplot` -- the layout algorithm (squarified treemap
+  with alternating vertical/horizontal rows, ordered by prefix length and
+  origin AS) and colour binning.
+* :mod:`repro.plotting.render` -- ASCII and SVG renderers for the layout.
+"""
+
+from repro.plotting.zesplot import Rect, ZesplotItem, ZesplotLayout, zesplot_layout
+from repro.plotting.render import render_ascii, render_svg
+
+__all__ = [
+    "Rect",
+    "ZesplotItem",
+    "ZesplotLayout",
+    "zesplot_layout",
+    "render_ascii",
+    "render_svg",
+]

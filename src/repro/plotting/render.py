@@ -1,0 +1,61 @@
+"""Renderers for zesplot layouts.
+
+Two output formats are provided:
+
+* :func:`render_ascii` -- a terminal-friendly character grid, with one shade
+  character per colour bin (useful in examples and smoke tests);
+* :func:`render_svg` -- a standalone SVG string with one ``<rect>`` per
+  prefix, coloured by bin, suitable for writing to a file and opening in a
+  browser.
+"""
+
+from __future__ import annotations
+
+from repro.plotting.zesplot import ZesplotLayout
+
+#: Shade characters per colour bin (low to high).
+ASCII_SHADES = " .:+#@"
+
+#: SVG fill colours per bin (white -> dark red, like the paper's colour bar).
+SVG_COLORS = ("#ffffff", "#fee5d9", "#fcae91", "#fb6a4a", "#de2d26", "#a50f15")
+
+
+def render_ascii(layout: ZesplotLayout, columns: int = 80, rows: int = 24) -> str:
+    """Render the layout as a character grid.
+
+    Each cell shows the colour bin of the item covering its centre; cells not
+    covered by any rectangle stay blank.
+    """
+    grid = [[" " for _ in range(columns)] for _ in range(rows)]
+    for item in layout.items:
+        rect = item.rect
+        x0 = int(rect.x / layout.width * columns)
+        x1 = int((rect.x + rect.width) / layout.width * columns)
+        y0 = int(rect.y / layout.height * rows)
+        y1 = int((rect.y + rect.height) / layout.height * rows)
+        shade = ASCII_SHADES[min(item.color_bin + 1, len(ASCII_SHADES) - 1)]
+        for y in range(max(0, y0), min(rows, max(y0 + 1, y1))):
+            for x in range(max(0, x0), min(columns, max(x0 + 1, x1))):
+                grid[y][x] = shade
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_svg(layout: ZesplotLayout, scale: float = 8.0) -> str:
+    """Render the layout as a standalone SVG document string."""
+    width = layout.width * scale
+    height = layout.height * scale
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.2f} {height:.2f}">'
+    ]
+    for item in layout.items:
+        rect = item.rect
+        color = SVG_COLORS[min(item.color_bin + 1, len(SVG_COLORS) - 1)] if item.value > 0 else SVG_COLORS[0]
+        parts.append(
+            f'<rect x="{rect.x * scale:.2f}" y="{rect.y * scale:.2f}" '
+            f'width="{rect.width * scale:.2f}" height="{rect.height * scale:.2f}" '
+            f'fill="{color}" stroke="#555555" stroke-width="0.3">'
+            f"<title>{item.prefix} AS{item.asn} value={item.value:g}</title></rect>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)

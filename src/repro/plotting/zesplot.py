@@ -1,0 +1,220 @@
+"""The zesplot layout algorithm.
+
+A zesplot visualizes a *list of prefixes* (not the whole address space):
+
+* prefixes are ordered by ``(prefix length, origin ASN)`` so that large
+  prefixes land in the top-left corner, small ones in the bottom-right, and
+  similarly sized prefixes of the same AS stay adjacent;
+* rectangles are laid out with a squarified-treemap style space-filling
+  algorithm that alternates between filling a vertical row and a horizontal
+  row (Bruls et al. squarified treemaps, extended recursively);
+* in the *sized* variant the rectangle area follows the prefix size
+  (logarithmically, since prefix sizes span dozens of orders of magnitude);
+  in the *unsized* variant all rectangles are equal and the prefix size is
+  used only for ordering;
+* rectangles are coloured by a per-prefix value (e.g. number of addresses or
+  responses) binned on a logarithmic scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.addr.prefix import IPv6Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle in the unit-less plot canvas."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def aspect(self) -> float:
+        """Aspect ratio >= 1 (1 = square)."""
+        if self.width == 0 or self.height == 0:
+            return math.inf
+        return max(self.width / self.height, self.height / self.width)
+
+    def contains_point(self, px: float, py: float) -> bool:
+        return self.x <= px <= self.x + self.width and self.y <= py <= self.y + self.height
+
+
+@dataclass(slots=True)
+class ZesplotItem:
+    """One plotted prefix: geometry, value and colour bin."""
+
+    prefix: IPv6Prefix
+    asn: int
+    value: float
+    rect: Rect
+    color_bin: int = 0
+
+
+@dataclass(slots=True)
+class ZesplotLayout:
+    """The full layout: items in plot order plus canvas dimensions."""
+
+    width: float
+    height: float
+    items: list[ZesplotItem] = field(default_factory=list)
+    num_color_bins: int = 5
+
+    def item_at(self, x: float, y: float) -> ZesplotItem | None:
+        """The item whose rectangle contains the given point (if any)."""
+        for item in self.items:
+            if item.rect.contains_point(x, y):
+                return item
+        return None
+
+    def total_area(self) -> float:
+        return sum(item.rect.area for item in self.items)
+
+    def max_value(self) -> float:
+        return max((item.value for item in self.items), default=0.0)
+
+
+def _prefix_weight(prefix: IPv6Prefix, sized: bool) -> float:
+    """Relative area weight of a prefix.
+
+    Sized zesplots scale the area with the prefix size; a logarithmic scale
+    keeps /19s and /127s on the same canvas.
+    """
+    if not sized:
+        return 1.0
+    # /128 -> 1, /64 -> 65, /32 -> 97, /0 -> 129 (linear in "bits of space").
+    return float(129 - prefix.length)
+
+
+def color_bins(values: Sequence[float], num_bins: int = 5) -> list[int]:
+    """Assign each value a logarithmic colour bin in ``0..num_bins-1``.
+
+    Zero values stay in bin 0; the remaining values are binned by log scale
+    between the smallest and largest positive value (like the zesplot colour
+    bars "1 .. 5M").
+    """
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return [0 for _ in values]
+    low = math.log10(min(positives))
+    high = math.log10(max(positives))
+    span = (high - low) or 1.0
+    bins = []
+    for value in values:
+        if value <= 0:
+            bins.append(0)
+            continue
+        fraction = (math.log10(value) - low) / span
+        bins.append(min(num_bins - 1, int(fraction * (num_bins - 1) + 0.5)))
+    return bins
+
+
+def _layout_row(
+    weights: Sequence[float], rect: Rect, vertical: bool
+) -> tuple[list[Rect], Rect]:
+    """Lay out one row of rectangles along the short side of *rect*.
+
+    Returns the rectangles plus the remaining free space.
+    """
+    total_weight = sum(weights)
+    if total_weight <= 0 or rect.area <= 0:
+        return [Rect(rect.x, rect.y, 0.0, 0.0) for _ in weights], rect
+    row_area_fraction = total_weight  # caller pre-scales weights to areas
+    if vertical:
+        # Fill a vertical strip on the left of the free rectangle.
+        strip_width = min(rect.width, row_area_fraction / rect.height)
+        rects = []
+        y = rect.y
+        for weight in weights:
+            h = (weight / total_weight) * rect.height
+            rects.append(Rect(rect.x, y, strip_width, h))
+            y += h
+        remaining = Rect(rect.x + strip_width, rect.y, rect.width - strip_width, rect.height)
+    else:
+        strip_height = min(rect.height, row_area_fraction / rect.width)
+        rects = []
+        x = rect.x
+        for weight in weights:
+            w = (weight / total_weight) * rect.width
+            rects.append(Rect(x, rect.y, w, strip_height))
+            x += w
+        remaining = Rect(rect.x, rect.y + strip_height, rect.width, rect.height - strip_height)
+    return rects, remaining
+
+
+def zesplot_layout(
+    prefixes: Iterable[IPv6Prefix],
+    values: "Callable[[IPv6Prefix], float] | dict[IPv6Prefix, float]",
+    asn_of: "Callable[[IPv6Prefix], int] | dict[IPv6Prefix, int] | None" = None,
+    width: float = 100.0,
+    height: float = 60.0,
+    sized: bool = True,
+    row_fraction: float = 0.2,
+    num_color_bins: int = 5,
+) -> ZesplotLayout:
+    """Compute a zesplot layout for a set of prefixes.
+
+    Parameters
+    ----------
+    prefixes:
+        The prefixes to plot (e.g. all announced BGP prefixes).
+    values:
+        Per-prefix colour value (e.g. hitlist addresses or responses per
+        prefix), as a mapping or callable.
+    asn_of:
+        Origin AS per prefix, used for the secondary sort key.
+    sized:
+        Sized (area follows prefix length) or unsized (equal boxes) variant.
+    row_fraction:
+        Fraction of the remaining items placed in each alternating row; the
+        paper's tool fills rows until the aspect ratio degrades, this
+        implementation uses a fixed fraction which produces the same
+        "vertical row, then horizontal row, then vertical row" pattern.
+    """
+    prefix_list = list(prefixes)
+    if isinstance(values, dict):
+        value_fn = lambda p: float(values.get(p, 0.0))  # noqa: E731
+    else:
+        value_fn = values
+    if asn_of is None:
+        asn_fn = lambda p: 0  # noqa: E731
+    elif isinstance(asn_of, dict):
+        asn_fn = lambda p: int(asn_of.get(p, 0))  # noqa: E731
+    else:
+        asn_fn = asn_of
+
+    # Order: shortest (largest) prefixes first, then by origin AS, then by value.
+    ordered = sorted(prefix_list, key=lambda p: (p.length, asn_fn(p), p.network))
+    weights = [_prefix_weight(p, sized) for p in ordered]
+    total_weight = sum(weights) or 1.0
+    canvas_area = width * height
+    areas = [w / total_weight * canvas_area for w in weights]
+
+    items: list[ZesplotItem] = []
+    free = Rect(0.0, 0.0, width, height)
+    index = 0
+    vertical = True
+    n = len(ordered)
+    while index < n:
+        remaining = n - index
+        row_size = max(1, int(math.ceil(remaining * row_fraction)))
+        row_slice = slice(index, index + row_size)
+        rects, free = _layout_row(areas[row_slice], free, vertical)
+        for prefix, rect in zip(ordered[row_slice], rects):
+            items.append(ZesplotItem(prefix=prefix, asn=asn_fn(prefix), value=value_fn(prefix), rect=rect))
+        index += row_size
+        vertical = not vertical
+
+    bins = color_bins([item.value for item in items], num_color_bins)
+    for item, bin_index in zip(items, bins):
+        item.color_bin = bin_index
+    return ZesplotLayout(width=width, height=height, items=items, num_color_bins=num_color_bins)

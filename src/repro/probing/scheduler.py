@@ -1,0 +1,82 @@
+"""Daily scan orchestration.
+
+Section 6 describes the paper's daily pipeline: collect source addresses,
+preprocess/merge/shuffle, run aliased prefix detection, traceroute targets
+with scamper, then run ZMapv6 responsiveness scans on all five protocols.
+:class:`ScanScheduler` provides that loop for the simulated Internet; the
+full curation pipeline (including APD filtering) lives in
+:mod:`repro.core.hitlist`, which composes this scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.addr.address import IPv6Address
+from repro.netmodel.internet import SimulatedInternet
+from repro.netmodel.services import ALL_PROTOCOLS, Protocol
+from repro.probing.zmap import ScanResult, ZMapScanner
+
+
+@dataclass(slots=True)
+class DailyScanResult:
+    """All per-protocol scan results of one day."""
+
+    day: int
+    targets: int
+    results: dict[Protocol, ScanResult] = field(default_factory=dict)
+
+    @property
+    def responsive_any(self) -> set[IPv6Address]:
+        """Addresses responsive on at least one protocol."""
+        responsive: set[IPv6Address] = set()
+        for result in self.results.values():
+            responsive |= result.responsive
+        return responsive
+
+    def responsive_on(self, protocol: Protocol) -> set[IPv6Address]:
+        """Addresses responsive on one protocol."""
+        result = self.results.get(protocol)
+        return result.responsive if result else set()
+
+
+class ScanScheduler:
+    """Run multi-day, multi-protocol scan campaigns."""
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+        seed: int = 0,
+    ):
+        self.internet = internet
+        self.protocols = tuple(protocols)
+        self._seed = seed
+
+    def run_day(self, targets: Iterable[IPv6Address], day: int) -> DailyScanResult:
+        """One daily measurement: sweep all protocols over the targets."""
+        target_list = list(targets)
+        scanner = ZMapScanner(self.internet, seed=self._seed ^ (day * 0x9E3779B1))
+        results = scanner.sweep(target_list, self.protocols, day)
+        return DailyScanResult(day=day, targets=len(target_list), results=results)
+
+    def run_campaign(
+        self,
+        targets_for_day: Callable[[int], Iterable[IPv6Address]],
+        days: Sequence[int],
+    ) -> list[DailyScanResult]:
+        """Run a scan every day, with possibly day-dependent target lists."""
+        return [self.run_day(targets_for_day(day), day) for day in days]
+
+    def run_fixed_campaign(
+        self, targets: Iterable[IPv6Address], days: Sequence[int]
+    ) -> list[DailyScanResult]:
+        """Run a scan every day over the same fixed target list.
+
+        The paper keeps probing addresses even when they disappear from the
+        input sources, to measure longitudinal responsiveness (Section 6.3).
+        """
+        target_list = list(targets)
+        return self.run_campaign(lambda _day: target_list, days)

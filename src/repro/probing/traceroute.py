@@ -1,0 +1,71 @@
+"""Scamper-style traceroute engine.
+
+Used in two places of the pipeline: to learn new router addresses that feed
+the scamper source (Section 3), and to test reachability of crowdsourced
+clients (Section 9.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.addr.address import IPv6Address
+from repro.netmodel.internet import SimulatedInternet
+
+
+@dataclass(slots=True)
+class TracerouteResult:
+    """Hops observed towards one target."""
+
+    target: IPv6Address
+    hops: list[IPv6Address] = field(default_factory=list)
+
+    @property
+    def responded(self) -> bool:
+        """True if at least one hop answered."""
+        return bool(self.hops)
+
+    @property
+    def last_hop(self) -> IPv6Address | None:
+        """The final responding hop (None when the path was silent)."""
+        return self.hops[-1] if self.hops else None
+
+
+class TracerouteEngine:
+    """Batch traceroute driver collecting router addresses."""
+
+    def __init__(self, internet: SimulatedInternet, seed: int = 0):
+        self.internet = internet
+        self._rng = random.Random(seed)
+        self._discovered: dict[int, IPv6Address] = {}
+
+    def trace(self, target: IPv6Address, day: int = 0) -> TracerouteResult:
+        """Traceroute a single target."""
+        hops = self.internet.traceroute(target, day=day, rng=self._rng)
+        for hop in hops:
+            self._discovered.setdefault(hop.value, hop)
+        return TracerouteResult(target=target, hops=list(hops))
+
+    def trace_all(self, targets: Iterable[IPv6Address], day: int = 0) -> list[TracerouteResult]:
+        """Traceroute every target, collecting all router addresses seen."""
+        return [self.trace(t, day) for t in targets]
+
+    @property
+    def discovered_addresses(self) -> list[IPv6Address]:
+        """All distinct router addresses seen in any traceroute so far."""
+        return list(self._discovered.values())
+
+    def reaches_destination_asn(self, result: TracerouteResult) -> bool:
+        """Does the last responding hop sit in the target's origin AS?
+
+        Section 9.3 uses this to detect ISP-side inbound filtering: for ~20 %
+        of crowdsourced clients the last responsive hop is outside the
+        destination AS.
+        """
+        if result.last_hop is None:
+            return False
+        target_asn = self.internet.asn_of(result.target)
+        hop_asn = self.internet.asn_of(result.last_hop)
+        return target_asn is not None and hop_asn == target_asn

@@ -1,0 +1,54 @@
+"""IPv6 hitlist sources (Section 3, 8 and 9 of the paper).
+
+Each source models one of the paper's public address feeds by sampling the
+simulated Internet with that feed's characteristic bias:
+
+* :mod:`domainlists` -- zone files, toplists and blacklists resolved for AAAA
+  records: server-heavy, strongly concentrated on CDNs (89.7 % top-AS share).
+* :mod:`fdns` -- Rapid7 forward-DNS ANY lookups: server-heavy but much more
+  balanced across ASes.
+* :mod:`ctlogs` -- domains from Certificate Transparency logs: the largest
+  DNS-derived source, extremely CDN-concentrated.
+* :mod:`axfr` -- AXFR/TLDR zone transfers: small, mixed.
+* :mod:`bitnodes` -- Bitcoin peers: tiny, client addresses.
+* :mod:`ripeatlas` -- RIPE Atlas traceroutes and ipmap: router addresses,
+  very balanced over ASes.
+* :mod:`scamper_source` -- router/CPE addresses learned from our own
+  traceroutes towards every other source's targets: explosive growth, > 90 %
+  SLAAC home-router addresses.
+* :mod:`rdns` -- reverse-DNS walking (Section 8), evaluated separately.
+* :mod:`crowdsourcing` -- MTurk / Prolific client campaigns (Section 9),
+  never added to the public hitlist.
+
+:mod:`registry` assembles the daily-scanned sources into one hitlist input.
+"""
+
+from repro.sources.base import HitlistSource, SourceRecord, SourceSnapshot
+from repro.sources.domainlists import DomainListsSource
+from repro.sources.fdns import FDNSSource
+from repro.sources.ctlogs import CTLogsSource
+from repro.sources.axfr import AXFRSource
+from repro.sources.bitnodes import BitnodesSource
+from repro.sources.ripeatlas import RIPEAtlasSource
+from repro.sources.scamper_source import ScamperSource
+from repro.sources.rdns import RDNSSource
+from repro.sources.crowdsourcing import CrowdsourcingStudy, CrowdPlatform
+from repro.sources.registry import SourceAssembly, assemble_all_sources
+
+__all__ = [
+    "HitlistSource",
+    "SourceRecord",
+    "SourceSnapshot",
+    "DomainListsSource",
+    "FDNSSource",
+    "CTLogsSource",
+    "AXFRSource",
+    "BitnodesSource",
+    "RIPEAtlasSource",
+    "ScamperSource",
+    "RDNSSource",
+    "CrowdsourcingStudy",
+    "CrowdPlatform",
+    "SourceAssembly",
+    "assemble_all_sources",
+]

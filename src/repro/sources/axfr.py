@@ -1,0 +1,38 @@
+"""AXFR and TLDR zone-transfer source.
+
+Small, mixed source: DNS zones that allow AXFR transfers plus the TLDR
+project's TLD transfers, resolved for AAAA records daily (0.5 M new addresses
+in the paper, with a moderate CDN concentration).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.addr.address import IPv6Address
+from repro.netmodel.services import HostRole
+from repro.sources.base import HitlistSource
+
+
+class AXFRSource(HitlistSource):
+    """Addresses obtained from DNS zone transfers."""
+
+    name = "axfr"
+    nature = "Mixed"
+    public = True
+    explosiveness = 2.0
+
+    aliased_share = 0.30
+    concentration = 0.6
+
+    def _draw_addresses(self, rng: random.Random) -> list[IPv6Address]:
+        aliased_count = int(self.target_size * self.aliased_share)
+        rest = self.target_size - aliased_count
+        server_count = int(rest * 0.8)
+        infra_count = rest - server_count
+        addresses = self.internet.sample_aliased_addresses(aliased_count, rng)
+        addresses += self._weighted_server_addresses(rng, server_count, self.concentration)
+        addresses += self._weighted_server_addresses(
+            rng, infra_count, 0.2, roles={HostRole.ROUTER, HostRole.MAIL_SERVER}
+        )
+        return addresses

@@ -1,0 +1,34 @@
+"""Bitnodes source: IPv6 peers of the Bitcoin network.
+
+The smallest source in the paper (27 k addresses) but valuable because it is
+one of the few that contributes *client* addresses, spread over eyeball ISPs
+and hosters, with noticeable churn over time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.addr.address import IPv6Address
+from repro.netmodel.services import HostRole
+from repro.sources.base import HitlistSource
+
+
+class BitnodesSource(HitlistSource):
+    """Bitcoin-network peer addresses from the Bitnodes API."""
+
+    name = "bitnodes"
+    nature = "Mixed"
+    public = True
+    explosiveness = 1.5
+
+    def _draw_addresses(self, rng: random.Random) -> list[IPv6Address]:
+        client_count = int(self.target_size * 0.6)
+        server_count = self.target_size - client_count
+        clients = self._weighted_server_addresses(
+            rng, client_count, 0.1, roles={HostRole.CLIENT, HostRole.CPE}
+        )
+        servers = self._weighted_server_addresses(
+            rng, server_count, 0.2, roles={HostRole.WEB_SERVER, HostRole.MAIL_SERVER}
+        )
+        return clients + servers

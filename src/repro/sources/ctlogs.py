@@ -1,0 +1,39 @@
+"""Certificate Transparency logs source.
+
+Domains extracted from TLS certificates logged in CT, resolved for AAAA
+records.  The largest DNS-derived source in the paper (16.2 M new addresses)
+and the most CDN-concentrated one (92.3 % in the top AS): most certificates
+are issued for domains hosted behind large CDNs whose prefixes are aliased.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.addr.address import IPv6Address
+from repro.netmodel.services import HostRole
+from repro.sources.base import HitlistSource
+
+
+class CTLogsSource(HitlistSource):
+    """Addresses of domains seen in Certificate Transparency logs."""
+
+    name = "ct"
+    nature = "Servers"
+    public = True
+    explosiveness = 3.0
+
+    aliased_share = 0.70
+    concentration = 0.95
+
+    def _draw_addresses(self, rng: random.Random) -> list[IPv6Address]:
+        aliased_count = int(self.target_size * self.aliased_share)
+        server_count = self.target_size - aliased_count
+        addresses = self.internet.sample_aliased_addresses(aliased_count, rng)
+        addresses += self._weighted_server_addresses(
+            rng,
+            server_count,
+            self.concentration,
+            roles={HostRole.WEB_SERVER, HostRole.CDN_EDGE},
+        )
+        return addresses

@@ -1,0 +1,31 @@
+"""Rapid7 forward-DNS (FDNS) source.
+
+ANY-lookup data over a very broad domain set: server addresses again, but far
+more balanced over ASes than the toplist/CT feeds (top AS only 16.7 %).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.addr.address import IPv6Address
+from repro.sources.base import HitlistSource
+
+
+class FDNSSource(HitlistSource):
+    """Addresses from forward-DNS ANY lookups."""
+
+    name = "fdns"
+    nature = "Servers"
+    public = True
+    explosiveness = 2.0
+
+    aliased_share = 0.15
+    concentration = 0.35
+
+    def _draw_addresses(self, rng: random.Random) -> list[IPv6Address]:
+        aliased_count = int(self.target_size * self.aliased_share)
+        server_count = self.target_size - aliased_count
+        addresses = self.internet.sample_aliased_addresses(aliased_count, rng)
+        addresses += self._weighted_server_addresses(rng, server_count, self.concentration)
+        return addresses

@@ -1,0 +1,68 @@
+"""Scamper source: router addresses from our own traceroutes.
+
+The paper traceroutes every known target daily with scamper and feeds the
+router addresses back into the hitlist.  This source shows explosive growth
+and is dominated (90.7 %) by SLAAC ``ff:fe`` addresses of home routers (ZTE,
+AVM/Fritzbox, ...), i.e. CPE equipment rather than core routers.
+
+The model traceroutes a sample of the other sources' targets plus a large
+sample of eyeball-network hosts, collecting the per-prefix router paths and
+last-hop CPE addresses from the topology model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.addr.address import IPv6Address
+from repro.netmodel.internet import SimulatedInternet
+from repro.netmodel.services import HostRole
+from repro.sources.base import HitlistSource
+
+
+class ScamperSource(HitlistSource):
+    """Router/CPE addresses learned from traceroute campaigns."""
+
+    name = "scamper"
+    nature = "Routers"
+    public = False  # derived from our own measurements, like the paper's scamper feed
+    explosiveness = 5.0
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        target_size: int,
+        seed: int,
+        runup_days: int = 180,
+        traceroute_targets: Sequence[IPv6Address] | None = None,
+    ):
+        self._traceroute_targets = list(traceroute_targets or [])
+        super().__init__(internet, target_size, seed, runup_days)
+
+    def _draw_addresses(self, rng: random.Random) -> list[IPv6Address]:
+        addresses: list[IPv6Address] = []
+        # Hops towards every provided target (the other sources' addresses).
+        for target in self._traceroute_targets:
+            addresses.extend(self.internet.traceroute(target, day=0, rng=rng))
+        # Hops towards a broad sample of eyeball hosts: this is what surfaces
+        # the large CPE population with EUI-64 addresses.
+        eyeball_hosts = self.internet.hosts_by_role(HostRole.CPE, HostRole.CLIENT)
+        rng.shuffle(eyeball_hosts)
+        for host in eyeball_hosts:
+            if len(addresses) >= self.target_size * 3:
+                break
+            addresses.extend(self.internet.traceroute(host.primary_address, day=0, rng=rng))
+        # Plus the CPE addresses themselves (last responding hop of many paths).
+        cpe_addresses = self.internet.addresses_by_role(HostRole.CPE)
+        rng.shuffle(cpe_addresses)
+        addresses.extend(cpe_addresses[: self.target_size])
+        return addresses[: self.target_size * 4]
+
+    @property
+    def slaac_share(self) -> float:
+        """Share of this source's addresses with EUI-64 interface identifiers."""
+        if not self._records:
+            return 0.0
+        slaac = sum(1 for r in self._records if r.address.is_slaac_eui64)
+        return slaac / len(self._records)

@@ -1,0 +1,41 @@
+"""Shared fixtures: session-scoped simulated Internets.
+
+Building a simulated Internet takes on the order of a second, so the test
+suite shares one small instance (and one slightly larger one for the
+integration tests) across all modules.
+"""
+
+import pytest
+
+from repro.netmodel import InternetConfig, SimulatedInternet
+
+
+#: Tiny configuration for fast unit tests.
+TINY_CONFIG = InternetConfig(
+    seed=7,
+    num_ases=40,
+    base_hosts_per_allocation=8,
+    max_hosts_per_allocation=120,
+    study_days=20,
+)
+
+#: Small-but-structured configuration for integration tests.
+SMALL_TEST_CONFIG = InternetConfig(
+    seed=11,
+    num_ases=80,
+    base_hosts_per_allocation=12,
+    max_hosts_per_allocation=300,
+    study_days=20,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_internet() -> SimulatedInternet:
+    """A very small simulated Internet shared by unit tests."""
+    return SimulatedInternet(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def small_internet() -> SimulatedInternet:
+    """A small simulated Internet shared by integration tests."""
+    return SimulatedInternet(SMALL_TEST_CONFIG)

@@ -1,0 +1,138 @@
+"""Tests for repro.addr.trie (longest-prefix matching)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addr import IPv6Address, IPv6Prefix, PrefixTrie
+
+
+class TestBasicOperations:
+    def test_insert_and_exact_lookup(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", "a")
+        assert trie.get_exact("2001:db8::/32") == "a"
+        assert "2001:db8::/32" in trie
+        assert len(trie) == 1
+
+    def test_insert_replaces_value(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", "a")
+        trie.insert("2001:db8::/32", "b")
+        assert trie.get_exact("2001:db8::/32") == "b"
+        assert len(trie) == 1
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", "a")
+        assert trie.remove("2001:db8::/32")
+        assert not trie.remove("2001:db8::/32")
+        assert len(trie) == 0
+        assert trie.lookup("2001:db8::1") is None
+
+    def test_missing_exact(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", 1)
+        assert trie.get_exact("2001:db8::/48") is None
+        assert "2001:db8::/48" not in trie
+
+
+class TestLongestPrefixMatch:
+    def test_most_specific_wins(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", "short")
+        trie.insert("2001:db8:1::/48", "long")
+        assert trie.lookup("2001:db8:1::1") == "long"
+        assert trie.lookup("2001:db8:2::1") == "short"
+
+    def test_longest_match_returns_prefix(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", "v")
+        prefix, value = trie.longest_match("2001:db8::1")
+        assert prefix == IPv6Prefix.parse("2001:db8::/32")
+        assert value == "v"
+
+    def test_no_match(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", "v")
+        assert trie.longest_match("2002::1") is None
+        assert not trie.covers("2002::1")
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert("::/0", "default")
+        trie.insert("2001:db8::/32", "specific")
+        assert trie.lookup("1::1") == "default"
+        assert trie.lookup("2001:db8::1") == "specific"
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::1/128", "host")
+        assert trie.lookup("2001:db8::1") == "host"
+        assert trie.lookup("2001:db8::2") is None
+
+    def test_accepts_address_objects_and_ints(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", "v")
+        assert trie.lookup(IPv6Address.parse("2001:db8::1")) == "v"
+        assert trie.lookup(int(IPv6Address.parse("2001:db8::1"))) == "v"
+
+
+class TestIteration:
+    def test_items_sorted(self):
+        trie = PrefixTrie()
+        prefixes = ["2001:db8::/32", "2001:db8::/48", "2001:db7::/32", "::/0"]
+        for i, p in enumerate(prefixes):
+            trie.insert(p, i)
+        listed = [p for p, _ in trie.items()]
+        assert listed == sorted(IPv6Prefix.parse(p) for p in prefixes)
+
+    def test_prefixes_iteration(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", 1)
+        trie.insert("2001:db9::/32", 2)
+        assert len(list(trie.prefixes())) == 2
+
+
+class TestAgainstReferenceModel:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**128 - 1),
+                st.integers(min_value=0, max_value=128),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.lists(st.integers(min_value=0, max_value=2**128 - 1), min_size=1, max_size=20),
+    )
+    def test_matches_bruteforce(self, raw_prefixes, queries):
+        trie = PrefixTrie()
+        prefixes = []
+        for value, length in raw_prefixes:
+            prefix = IPv6Prefix.of(value, length)
+            prefixes.append(prefix)
+            trie.insert(prefix, str(prefix))
+        for q in queries:
+            covering = [p for p in prefixes if q in p]
+            expected = max(covering, key=lambda p: p.length) if covering else None
+            got = trie.longest_match(q)
+            if expected is None:
+                assert got is None
+            else:
+                assert got[0].length == expected.length
+                assert q in got[0]
+
+    def test_many_random_disjoint_prefixes(self):
+        rng = random.Random(7)
+        trie = PrefixTrie()
+        base = IPv6Prefix.parse("2001:db8::/32")
+        subs = list(base.subnets(40))
+        for i, sub in enumerate(subs):
+            trie.insert(sub, i)
+        assert len(trie) == 256
+        for i, sub in enumerate(rng.sample(subs, 32)):
+            idx = subs.index(sub)
+            assert trie.lookup(sub.first) == idx
+            assert trie.lookup(sub.last) == idx

@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_accepts_known_experiments(self):
+        args = build_parser().parse_args(["run", "fig7", "--scale", "test"])
+        assert args.experiment == "fig7"
+        assert args.scale == "test"
+
+    def test_run_command_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_all_defaults_to_default_scale(self):
+        args = build_parser().parse_args(["run-all"])
+        assert args.scale == "default"
+
+
+class TestExecution:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(EXPERIMENTS)
+
+    def test_run_table3_at_test_scale(self, capsys):
+        # table3 is the only experiment that needs no expensive pipeline state.
+        assert main(["run", "table3", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "2001:0db8:0407:8000" in out

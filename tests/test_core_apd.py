@@ -1,0 +1,209 @@
+"""Tests for aliased prefix detection, the Murdock baseline and the sliding window."""
+
+import random
+
+import pytest
+
+from repro.addr import IPv6Prefix
+from repro.addr.generate import random_addresses_in_prefix
+from repro.core.apd import AliasedPrefixDetector, APDConfig, APDResult
+from repro.core.apd_murdock import MurdockDetector
+from repro.core.sliding_window import SlidingWindowMerger
+
+
+@pytest.fixture(scope="module")
+def clean_aliased_region(tiny_internet):
+    """An aliased region without anomaly behaviour that also serves TCP/80."""
+    from repro.netmodel.services import Protocol
+
+    return next(
+        r
+        for r in tiny_internet.aliased_regions
+        if not r.syn_proxy
+        and r.icmp_rate_limit is None
+        and r.prefix.length <= 96
+        and Protocol.TCP80 in r.host.services
+    )
+
+
+@pytest.fixture(scope="module")
+def hitlist_sample(tiny_internet, clean_aliased_region):
+    """A small hitlist: server addresses plus many addresses in one aliased prefix."""
+    from repro.netmodel.services import HostRole
+
+    rng = random.Random(3)
+    servers = [h.primary_address for h in tiny_internet.hosts_by_role(HostRole.WEB_SERVER)][:150]
+    # Concentrate the aliased sample inside a /100 so that several aggregation
+    # levels (/68../100) exceed the 100-target threshold, like dense CDN names.
+    aliased = random_addresses_in_prefix(
+        IPv6Prefix.of(clean_aliased_region.prefix.network, 100), 150, rng
+    )
+    return servers + aliased
+
+
+class TestCandidateSelection:
+    def test_prefixes_with_many_targets_qualify(self, tiny_internet, hitlist_sample):
+        detector = AliasedPrefixDetector(tiny_internet, seed=1)
+        candidates = detector.candidate_prefixes(hitlist_sample)
+        lengths = {p.length for p in candidates}
+        assert 64 in lengths
+        # The 150 aliased addresses qualify their covering prefixes at several levels.
+        assert any(p.length > 64 for p in candidates)
+
+    def test_64s_always_included(self, tiny_internet, hitlist_sample):
+        config = APDConfig(min_targets_per_prefix=10_000)
+        detector = AliasedPrefixDetector(tiny_internet, config, seed=1)
+        candidates = detector.candidate_prefixes(hitlist_sample)
+        assert candidates
+        assert all(p.length == 64 for p in candidates)
+
+    def test_64_exemption_can_be_disabled(self, tiny_internet, hitlist_sample):
+        config = APDConfig(min_targets_per_prefix=10_000, always_probe_64=False)
+        detector = AliasedPrefixDetector(tiny_internet, config, seed=1)
+        assert detector.candidate_prefixes(hitlist_sample) == []
+
+    def test_extra_prefixes_are_added(self, tiny_internet):
+        detector = AliasedPrefixDetector(tiny_internet, seed=1)
+        extra = IPv6Prefix.parse("2001:db8::/64")
+        candidates = detector.candidate_prefixes([], extra_prefixes=[extra])
+        assert extra in candidates
+
+
+class TestProbing:
+    def test_aliased_prefix_detected(self, tiny_internet, clean_aliased_region):
+        detector = AliasedPrefixDetector(tiny_internet, seed=2)
+        probe_prefix = IPv6Prefix.of(clean_aliased_region.prefix.network, max(64, clean_aliased_region.prefix.length))
+        outcome = detector.probe_prefix(probe_prefix, day=0)
+        assert outcome.num_responsive >= 15  # rare single-probe double-loss tolerated
+        assert outcome.probes_sent == 32
+
+    def test_non_aliased_prefix_not_detected(self, tiny_internet):
+        from repro.netmodel.services import HostRole
+
+        host = tiny_internet.hosts_by_role(HostRole.WEB_SERVER)[0]
+        prefix = IPv6Prefix.of(host.primary_address, 64)
+        if tiny_internet.is_aliased_truth(host.primary_address):
+            pytest.skip("picked host inside aliased region")
+        detector = AliasedPrefixDetector(tiny_internet, seed=2)
+        outcome = detector.probe_prefix(prefix, day=0)
+        assert not outcome.is_aliased
+        assert outcome.num_responsive <= 2
+
+    def test_run_classifies_hitlist(self, tiny_internet, hitlist_sample, clean_aliased_region):
+        detector = AliasedPrefixDetector(tiny_internet, seed=3)
+        result = detector.run(hitlist_sample, day=0)
+        assert result.aliased_prefixes
+        # Every detected aliased prefix really is aliased in ground truth.
+        for prefix in result.aliased_prefixes:
+            assert tiny_internet.is_aliased_truth(prefix.first + 1)
+        # The aliased sample addresses are filtered, the servers survive.
+        aliased, clean = result.split(hitlist_sample)
+        assert len(aliased) >= 100
+        truth_hits = sum(tiny_internet.is_aliased_truth(a) for a in aliased)
+        assert truth_hits / len(aliased) > 0.95
+
+    def test_filter_non_aliased_removes_only_aliased(self, tiny_internet, hitlist_sample):
+        detector = AliasedPrefixDetector(tiny_internet, seed=3)
+        result = detector.run(hitlist_sample, day=0)
+        clean = result.filter_non_aliased(hitlist_sample)
+        assert len(clean) < len(hitlist_sample)
+        false_removals = [
+            a
+            for a in hitlist_sample
+            if a not in clean and not tiny_internet.is_aliased_truth(a)
+        ]
+        assert len(false_removals) <= len(hitlist_sample) * 0.02
+
+    def test_probes_sent_accounting(self, tiny_internet, hitlist_sample):
+        detector = AliasedPrefixDetector(tiny_internet, seed=3)
+        result = detector.run(hitlist_sample, day=0)
+        assert result.probes_sent == 32 * len(result.outcomes)
+        assert result.addresses_probed == 16 * len(result.outcomes)
+
+    def test_longest_prefix_match_resolves_conflicts(self, tiny_internet):
+        """A non-aliased more-specific inside an aliased less-specific wins."""
+        result = APDResult(day=0)
+        detector = AliasedPrefixDetector(tiny_internet, seed=1)
+        outer = IPv6Prefix.parse("2001:db8::/64")
+        inner = IPv6Prefix.parse("2001:db8::/68")
+        outer_outcome = detector.probe_prefix(outer)
+        inner_outcome = detector.probe_prefix(inner)
+        # Force verdicts for the test regardless of the simulated responses.
+        from repro.netmodel.services import Protocol
+
+        outer_outcome.branch_responses = [{Protocol.ICMP} for _ in range(16)]  # aliased
+        inner_outcome.branch_responses = [set() for _ in range(16)]  # non-aliased
+        result.outcomes[outer] = outer_outcome
+        result.outcomes[inner] = inner_outcome
+        from repro.addr import IPv6Address
+
+        inside_inner = IPv6Address.parse("2001:db8::1")
+        inside_outer_only = IPv6Address.parse("2001:db8:0:0:f000::1")
+        assert not result.is_aliased(inside_inner)
+        assert result.is_aliased(inside_outer_only)
+
+
+class TestMurdockBaseline:
+    def test_candidates_are_96s(self, tiny_internet, hitlist_sample):
+        detector = MurdockDetector(tiny_internet, seed=1)
+        candidates = detector.candidate_prefixes(hitlist_sample)
+        assert all(p.length == 96 for p in candidates)
+
+    def test_detects_fully_aliased_96(self, tiny_internet, clean_aliased_region):
+        detector = MurdockDetector(tiny_internet, seed=1)
+        prefix = IPv6Prefix.of(clean_aliased_region.prefix.network, 96)
+        outcome = detector.probe_prefix(prefix)
+        assert outcome.is_aliased
+
+    def test_multi_level_finds_more_aliased_addresses(self, tiny_internet, hitlist_sample):
+        apd = AliasedPrefixDetector(tiny_internet, seed=2).run(hitlist_sample)
+        murdock = MurdockDetector(tiny_internet, seed=2).run(hitlist_sample)
+        apd_aliased, _ = apd.split(hitlist_sample)
+        murdock_aliased, _ = murdock.split(hitlist_sample)
+        assert len(apd_aliased) >= len(murdock_aliased)
+
+    def test_probe_accounting(self, tiny_internet, hitlist_sample):
+        murdock = MurdockDetector(tiny_internet, seed=2)
+        result = murdock.run(hitlist_sample)
+        assert result.addresses_probed == 3 * len(result.outcomes)
+        assert result.probes_sent == 9 * len(result.outcomes)
+
+
+class TestSlidingWindow:
+    @pytest.fixture(scope="class")
+    def daily_results(self, tiny_internet, hitlist_sample):
+        detector = AliasedPrefixDetector(tiny_internet, seed=5)
+        return detector.run_window(hitlist_sample, days=range(8))
+
+    def test_requires_results(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMerger({})
+
+    def test_windowed_branches_grow_with_window(self, daily_results):
+        merger = SlidingWindowMerger(daily_results)
+        prefix = merger.prefixes()[0]
+        day = merger.days[-1]
+        small = merger.windowed_responsive_branches(prefix, day, 0)
+        large = merger.windowed_responsive_branches(prefix, day, 5)
+        assert small <= large
+
+    def test_unstable_prefixes_decrease_with_window(self, daily_results):
+        merger = SlidingWindowMerger(daily_results)
+        stats = merger.sweep_windows(range(6))
+        unstable = [s.unstable_prefixes for s in stats]
+        assert unstable[0] >= unstable[3] >= unstable[5]
+        assert all(s.total_prefixes == stats[0].total_prefixes for s in stats)
+
+    def test_final_aliased_prefixes_are_truly_aliased(self, daily_results, tiny_internet):
+        merger = SlidingWindowMerger(daily_results)
+        finals = merger.final_aliased_prefixes(window=3)
+        assert finals
+        for prefix in finals:
+            assert tiny_internet.is_aliased_truth(prefix.first + 1)
+
+    def test_window_stats_fields(self, daily_results):
+        merger = SlidingWindowMerger(daily_results)
+        stats = merger.window_stats(3)
+        assert stats.window == 3
+        assert 0 <= stats.unstable_prefixes <= stats.total_prefixes
+        assert 0 <= stats.aliased_final <= stats.total_prefixes

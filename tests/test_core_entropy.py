@@ -1,0 +1,246 @@
+"""Tests for entropy fingerprints and entropy clustering (Section 4)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addr import IPv6Address, IPv6Prefix
+from repro.core.clustering import EntropyClustering, elbow_k, kmeans, sse_curve
+from repro.core.entropy import (
+    FULL_SPAN,
+    IID_SPAN,
+    EntropyFingerprint,
+    entropy_fingerprint,
+    median_profile,
+    normalized_entropy,
+    nybble_entropies,
+)
+from repro.netmodel.schemes import AddressingScheme, generate_addresses
+
+
+def _network_addresses(scheme, count=150, seed=0, prefix="2001:db8::/32"):
+    rng = random.Random(seed)
+    return generate_addresses(scheme, IPv6Prefix.parse(prefix), count, rng)
+
+
+class TestNybbleEntropies:
+    def test_constant_addresses_zero_entropy(self):
+        addrs = [IPv6Address.parse("2001:db8::1")] * 10
+        entropies = nybble_entropies(addrs)
+        assert all(e == 0.0 for e in entropies)
+
+    def test_uniform_last_nybble_full_entropy(self):
+        addrs = [IPv6Address.parse("2001:db8::") + i for i in range(16)]
+        entropies = nybble_entropies(addrs)
+        assert entropies[-1] == pytest.approx(1.0)
+        assert all(e == 0.0 for e in entropies[:-1])
+
+    def test_span_selection(self):
+        addrs = [IPv6Address.parse("2001:db8::") + i for i in range(16)]
+        entropies = nybble_entropies(addrs, 17, 32)
+        assert len(entropies) == 16
+        assert entropies[-1] == pytest.approx(1.0)
+
+    def test_invalid_span(self):
+        addrs = [IPv6Address.parse("::1")]
+        with pytest.raises(ValueError):
+            nybble_entropies(addrs, 0, 10)
+        with pytest.raises(ValueError):
+            nybble_entropies(addrs, 20, 10)
+
+    def test_empty_addresses(self):
+        with pytest.raises(ValueError):
+            nybble_entropies([])
+
+    def test_entropy_bounds(self):
+        addrs = _network_addresses(AddressingScheme.RANDOM_IID)
+        entropies = nybble_entropies(addrs)
+        assert all(0.0 <= e <= 1.0 for e in entropies)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**128 - 1), min_size=2, max_size=50))
+    @settings(max_examples=25)
+    def test_entropy_always_in_unit_interval(self, values):
+        entropies = nybble_entropies(values)
+        assert all(0.0 <= e <= 1.0 + 1e-9 for e in entropies)
+
+
+class TestFingerprints:
+    def test_fingerprint_shape_full_span(self):
+        addrs = _network_addresses(AddressingScheme.LOW_COUNTER)
+        fp = entropy_fingerprint("2001:db8::/32", addrs, span=FULL_SPAN)
+        assert len(fp) == FULL_SPAN[1] - FULL_SPAN[0] + 1
+        assert fp.sample_size == len(addrs)
+
+    def test_fingerprint_minimum_enforced(self):
+        addrs = _network_addresses(AddressingScheme.LOW_COUNTER, count=10)
+        with pytest.raises(ValueError):
+            entropy_fingerprint("net", addrs)
+        fp = entropy_fingerprint("net", addrs, enforce_minimum=False)
+        assert fp.sample_size == 10
+
+    def test_low_counter_has_low_mean_entropy(self):
+        low = entropy_fingerprint(
+            "low", _network_addresses(AddressingScheme.LOW_COUNTER), span=FULL_SPAN
+        )
+        rand = entropy_fingerprint(
+            "rand", _network_addresses(AddressingScheme.RANDOM_IID), span=FULL_SPAN
+        )
+        assert low.mean_entropy < 0.2
+        assert rand.mean_entropy > 0.4
+        assert low.mean_entropy < rand.mean_entropy
+
+    def test_eui64_fingerprint_has_fffe_dip(self):
+        fp = entropy_fingerprint(
+            "eui", _network_addresses(AddressingScheme.EUI64_CPE), span=IID_SPAN
+        )
+        # Nybbles 23-26 of the address (ff:fe) are constant -> entropy 0.
+        # In the IID span (17..32) they are positions 7..10 (1-based), i.e. 6..9.
+        assert fp.entropies[6] == pytest.approx(0.0)
+        assert fp.entropies[7] == pytest.approx(0.0)
+        assert fp.entropies[8] == pytest.approx(0.0)
+        assert fp.entropies[9] == pytest.approx(0.0)
+
+    def test_fingerprint_length_validation(self):
+        with pytest.raises(ValueError):
+            EntropyFingerprint("x", 1, 4, (0.0, 0.0), 100)
+
+    def test_as_array(self):
+        fp = EntropyFingerprint("x", 1, 3, (0.1, 0.2, 0.3), 100)
+        assert np.allclose(fp.as_array(), [0.1, 0.2, 0.3])
+        assert fp.span == (1, 3)
+
+    def test_median_profile(self):
+        fps = [
+            EntropyFingerprint("a", 1, 2, (0.0, 1.0), 100),
+            EntropyFingerprint("b", 1, 2, (0.2, 0.8), 100),
+            EntropyFingerprint("c", 1, 2, (0.4, 0.0), 100),
+        ]
+        assert median_profile(fps) == [0.2, 0.8]
+        assert median_profile([]) == []
+
+    def test_normalized_entropy_helper(self):
+        assert normalized_entropy([]) == 0.0
+        assert normalized_entropy([3, 3, 3]) == 0.0
+        assert normalized_entropy(list(range(16))) == pytest.approx(1.0)
+
+
+class TestKMeans:
+    def test_two_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.05, size=(30, 4))
+        b = rng.normal(1, 0.05, size=(30, 4))
+        data = np.vstack([a, b])
+        result = kmeans(data, 2, seed=1)
+        labels_a = set(result.labels[:30])
+        labels_b = set(result.labels[30:])
+        assert len(labels_a) == 1 and len(labels_b) == 1
+        assert labels_a != labels_b
+
+    def test_sse_decreases_with_k(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((60, 5))
+        curve = sse_curve(data, [1, 2, 4, 8], seed=0)
+        assert curve[1] >= curve[2] >= curve[4] >= curve[8]
+
+    def test_k_equals_n_gives_zero_sse(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        result = kmeans(data, 3, seed=0)
+        assert result.sse == pytest.approx(0.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 3)), 1)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 3)), 6)
+
+    def test_cluster_sizes_sum(self):
+        rng = np.random.default_rng(2)
+        data = rng.random((40, 3))
+        result = kmeans(data, 4, seed=0)
+        assert sum(result.cluster_sizes()) == 40
+
+
+class TestElbow:
+    def test_clear_elbow(self):
+        sse = {1: 100.0, 2: 40.0, 3: 12.0, 4: 10.0, 5: 9.0, 6: 8.5}
+        assert elbow_k(sse) == 3
+
+    def test_flat_curve_picks_small_k(self):
+        sse = {1: 10.0, 2: 9.9, 3: 9.8, 4: 9.7}
+        assert elbow_k(sse) <= 2
+
+    def test_short_curves(self):
+        assert elbow_k({3: 5.0}) == 3
+        assert elbow_k({2: 5.0, 4: 1.0}) == 2
+        with pytest.raises(ValueError):
+            elbow_k({})
+
+
+class TestEntropyClustering:
+    @pytest.fixture(scope="class")
+    def mixed_fingerprints(self):
+        clustering = EntropyClustering(min_addresses=100, seed=1)
+        fingerprints = []
+        prefixes = {
+            AddressingScheme.LOW_COUNTER: ["2001:100::/32", "2001:101::/32", "2001:102::/32", "2001:103::/32"],
+            AddressingScheme.RANDOM_IID: ["2001:200::/32", "2001:201::/32", "2001:202::/32"],
+            AddressingScheme.EUI64_CPE: ["2001:300::/32", "2001:301::/32"],
+        }
+        for scheme, nets in prefixes.items():
+            for i, net in enumerate(nets):
+                addrs = _network_addresses(scheme, count=150, seed=i, prefix=net)
+                fingerprints.extend(
+                    clustering.fingerprints_by_prefix(addrs, prefix_length=32)
+                )
+        return clustering, fingerprints
+
+    def test_fingerprints_by_prefix_respects_minimum(self, mixed_fingerprints):
+        clustering, fingerprints = mixed_fingerprints
+        assert len(fingerprints) == 9
+
+    def test_clustering_recovers_schemes(self, mixed_fingerprints):
+        clustering, fingerprints = mixed_fingerprints
+        result = clustering.cluster(fingerprints, k=3)
+        assert result.k == 3
+        assert sorted(c.cluster_id for c in result.clusters) == [1, 2, 3]
+        # Popularity ordering: cluster 1 is the largest (the 4 LOW_COUNTER nets).
+        assert result.clusters[0].size == 4
+        # Networks generated with the same scheme end up in the same cluster.
+        label_by_net = dict(zip((f.network for f in result.fingerprints), result.labels))
+        low_labels = {label_by_net[f"2001:10{i}::/32"] for i in range(4)}
+        rand_labels = {label_by_net[f"2001:20{i}::/32"] for i in range(3)}
+        assert len(low_labels) == 1
+        assert len(rand_labels) == 1
+        assert low_labels != rand_labels
+
+    def test_cluster_popularities_sum_to_one(self, mixed_fingerprints):
+        clustering, fingerprints = mixed_fingerprints
+        result = clustering.cluster(fingerprints, k=3)
+        assert sum(c.popularity for c in result.clusters) == pytest.approx(1.0)
+
+    def test_elbow_choice_small(self, mixed_fingerprints):
+        clustering, fingerprints = mixed_fingerprints
+        result = clustering.cluster(fingerprints)
+        assert 2 <= result.k <= 5
+
+    def test_label_of(self, mixed_fingerprints):
+        clustering, fingerprints = mixed_fingerprints
+        result = clustering.cluster(fingerprints, k=3)
+        assert result.label_of("2001:100::/32") in (1, 2, 3)
+        assert result.label_of("9999::/32") is None
+
+    def test_cluster_empty_raises(self):
+        clustering = EntropyClustering()
+        with pytest.raises(ValueError):
+            clustering.cluster([])
+
+    def test_fingerprints_by_group(self):
+        clustering = EntropyClustering(min_addresses=50, seed=0)
+        groups = {
+            "AS1": _network_addresses(AddressingScheme.LOW_COUNTER, count=60),
+            "AS2": _network_addresses(AddressingScheme.RANDOM_IID, count=40),
+        }
+        fingerprints = clustering.fingerprints_by_group(groups)
+        assert [f.network for f in fingerprints] == ["AS1"]

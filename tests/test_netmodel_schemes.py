@@ -1,0 +1,220 @@
+"""Tests for addressing schemes, vendors and stack personalities."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addr import IPv6Prefix, is_slaac_eui64
+from repro.netmodel.fingerprints import (
+    COMMON_OPTIONS_TEXT,
+    StackPersonality,
+    TimestampBehaviour,
+)
+from repro.netmodel.schemes import (
+    AddressingScheme,
+    EYEBALL_SCHEME_WEIGHTS,
+    SERVER_SCHEME_WEIGHTS,
+    generate_address,
+    generate_addresses,
+    pick_scheme,
+)
+from repro.netmodel.services import ALL_PROTOCOLS, HostRole, Protocol, profile_for
+from repro.netmodel.vendors import (
+    CPE_VENDORS,
+    eui64_iid_from_mac,
+    pick_vendor,
+    random_mac,
+    vendor_name,
+)
+
+
+class TestVendors:
+    def test_vendor_shares_dominated_by_zte_avm(self):
+        rng = random.Random(0)
+        counts = {}
+        for _ in range(2000):
+            v = pick_vendor(rng)
+            counts[v.name] = counts.get(v.name, 0) + 1
+        assert counts["ZTE"] + counts["AVM"] > 0.85 * 2000
+
+    def test_vendor_name_lookup(self):
+        zte = CPE_VENDORS[0]
+        assert vendor_name(zte.oui) == "ZTE"
+        assert vendor_name(0xABCDEF) is None
+
+    def test_random_mac_has_vendor_oui(self):
+        rng = random.Random(1)
+        zte = CPE_VENDORS[0]
+        mac = random_mac(zte, rng)
+        assert mac >> 24 == zte.oui
+
+    def test_eui64_iid_contains_fffe(self):
+        iid = eui64_iid_from_mac(0x001122334455)
+        assert (iid >> 24) & 0xFFFF == 0xFFFE
+
+    def test_eui64_flips_ul_bit(self):
+        iid = eui64_iid_from_mac(0x001122334455)
+        assert (iid >> 56) & 0xFF == 0x02
+
+    def test_eui64_rejects_bad_mac(self):
+        with pytest.raises(ValueError):
+            eui64_iid_from_mac(1 << 48)
+
+
+class TestSchemes:
+    PREFIX = IPv6Prefix.parse("2001:db8::/32")
+
+    @pytest.mark.parametrize("scheme", list(AddressingScheme))
+    def test_generated_addresses_inside_prefix(self, scheme):
+        rng = random.Random(3)
+        for i in range(50):
+            addr = generate_address(scheme, self.PREFIX, i, rng)
+            assert addr in self.PREFIX
+
+    @pytest.mark.parametrize("scheme", list(AddressingScheme))
+    def test_generated_addresses_inside_long_prefix(self, scheme):
+        prefix = IPv6Prefix.parse("2001:db8:1:2::/64")
+        rng = random.Random(3)
+        for i in range(20):
+            assert generate_address(scheme, prefix, i, rng) in prefix
+
+    def test_low_counter_has_tiny_iids(self):
+        rng = random.Random(0)
+        addrs = generate_addresses(AddressingScheme.LOW_COUNTER, self.PREFIX, 50, rng)
+        assert all(a.iid < 2**20 for a in addrs)
+
+    def test_random_iid_high_hamming_weight(self):
+        rng = random.Random(0)
+        addrs = generate_addresses(AddressingScheme.RANDOM_IID, self.PREFIX, 100, rng)
+        mean_weight = sum(a.iid_hamming_weight for a in addrs) / len(addrs)
+        assert 24 < mean_weight < 40
+
+    def test_eui64_scheme_produces_slaac(self):
+        rng = random.Random(0)
+        addrs = generate_addresses(AddressingScheme.EUI64_CPE, self.PREFIX, 50, rng)
+        assert all(is_slaac_eui64(a) for a in addrs)
+
+    def test_generate_addresses_unique(self):
+        rng = random.Random(0)
+        for scheme in AddressingScheme:
+            addrs = generate_addresses(scheme, self.PREFIX, 80, rng)
+            assert len(set(addrs)) == 80
+
+    def test_pick_scheme_respects_weights(self):
+        rng = random.Random(0)
+        picks = [pick_scheme(SERVER_SCHEME_WEIGHTS, rng) for _ in range(500)]
+        assert picks.count(AddressingScheme.LOW_COUNTER) > picks.count(AddressingScheme.EUI64_CPE)
+
+    def test_eyeball_weights_prefer_cpe(self):
+        rng = random.Random(0)
+        picks = [pick_scheme(EYEBALL_SCHEME_WEIGHTS, rng) for _ in range(500)]
+        assert picks.count(AddressingScheme.EUI64_CPE) > picks.count(AddressingScheme.STRUCTURED)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25)
+    def test_deterministic_given_seed(self, seed):
+        a = generate_addresses(AddressingScheme.STRUCTURED, self.PREFIX, 10, random.Random(seed))
+        b = generate_addresses(AddressingScheme.STRUCTURED, self.PREFIX, 10, random.Random(seed))
+        assert a == b
+
+
+class TestServiceProfiles:
+    def test_all_roles_have_profiles(self):
+        for role in HostRole:
+            assert profile_for(role).role is role
+
+    def test_sampled_services_subset_of_protocols(self):
+        rng = random.Random(0)
+        for role in HostRole:
+            services = profile_for(role).sample_services(rng)
+            assert services <= set(ALL_PROTOCOLS)
+
+    def test_web_servers_mostly_do_http(self):
+        rng = random.Random(0)
+        hits = sum(
+            Protocol.TCP80 in profile_for(HostRole.WEB_SERVER).sample_services(rng)
+            for _ in range(500)
+        )
+        assert hits > 400
+
+    def test_clients_rarely_respond(self):
+        rng = random.Random(0)
+        hits = sum(
+            bool(profile_for(HostRole.CLIENT).sample_services(rng)) for _ in range(500)
+        )
+        assert hits < 200
+
+    def test_quic_implies_https(self):
+        rng = random.Random(0)
+        profile = profile_for(HostRole.CDN_EDGE)
+        both = quic = 0
+        for _ in range(2000):
+            services = profile.sample_services(rng)
+            if Protocol.UDP443 in services:
+                quic += 1
+                if Protocol.TCP443 in services:
+                    both += 1
+        assert quic > 0
+        assert both / quic > 0.9
+
+    def test_protocol_flags(self):
+        assert Protocol.TCP80.is_tcp and not Protocol.TCP80.is_udp
+        assert Protocol.UDP53.is_udp and not Protocol.UDP53.is_tcp
+        assert not Protocol.ICMP.is_tcp and not Protocol.ICMP.is_udp
+
+    def test_role_flags(self):
+        assert HostRole.WEB_SERVER.is_server
+        assert HostRole.ROUTER.is_infrastructure
+        assert not HostRole.CLIENT.is_server
+
+
+class TestStackPersonality:
+    def test_sample_fields_valid(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            p = StackPersonality.sample(rng)
+            assert p.ittl in (32, 64, 128, 255)
+            assert p.mss > 0
+            assert p.window_size > 0
+
+    def test_common_options_text_dominates(self):
+        rng = random.Random(0)
+        persons = [StackPersonality.sample(rng) for _ in range(1000)]
+        share = sum(p.options_text == COMMON_OPTIONS_TEXT for p in persons) / 1000
+        assert share > 0.97
+
+    def test_global_monotonic_timestamps_increase(self):
+        rng = random.Random(1)
+        p = StackPersonality.sample(rng, modern_linux_share=0.0)
+        while p.timestamp_behaviour is not TimestampBehaviour.GLOBAL_MONOTONIC:
+            p = StackPersonality.sample(rng, modern_linux_share=0.0)
+        t1 = p.timestamp_value(100.0, destination=1)
+        t2 = p.timestamp_value(200.0, destination=2)
+        assert t2 > t1
+
+    def test_per_destination_randomised_differs_by_destination(self):
+        rng = random.Random(1)
+        p = StackPersonality.sample(rng, modern_linux_share=1.0)
+        while p.timestamp_behaviour is not TimestampBehaviour.PER_DESTINATION_RANDOM:
+            p = StackPersonality.sample(rng, modern_linux_share=1.0)
+        assert p.timestamp_value(100.0, 1) != p.timestamp_value(100.0, 2)
+
+    def test_no_timestamp_when_disabled(self):
+        p = StackPersonality(
+            ittl=64,
+            options_text="MSS",
+            mss=1440,
+            window_size=28800,
+            window_scale=7,
+            timestamp_behaviour=TimestampBehaviour.NONE,
+            timestamp_rate=1000,
+            timestamp_offset=0,
+        )
+        assert p.timestamp_value(100.0, 1) is None
+
+    def test_options_only_for_tcp(self):
+        rng = random.Random(0)
+        p = StackPersonality.sample(rng)
+        assert p.options_for(Protocol.TCP80) == p.options_text
+        assert p.options_for(Protocol.ICMP) == ""

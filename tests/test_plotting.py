@@ -1,0 +1,133 @@
+"""Tests for the zesplot layout and renderers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addr import IPv6Prefix
+from repro.plotting import render_ascii, render_svg, zesplot_layout
+from repro.plotting.zesplot import Rect, color_bins
+
+
+def _prefixes():
+    return [
+        IPv6Prefix.parse("2001:100::/32"),
+        IPv6Prefix.parse("2001:200::/32"),
+        IPv6Prefix.parse("2001:300:1::/48"),
+        IPv6Prefix.parse("2001:300:2::/48"),
+        IPv6Prefix.parse("2001:400::/40"),
+        IPv6Prefix.parse("2001:500::1/128"),
+    ]
+
+
+class TestRect:
+    def test_area_and_aspect(self):
+        rect = Rect(0, 0, 4, 2)
+        assert rect.area == 8
+        assert rect.aspect == 2
+        assert Rect(0, 0, 0, 2).aspect == float("inf")
+
+    def test_contains_point(self):
+        rect = Rect(1, 1, 2, 2)
+        assert rect.contains_point(2, 2)
+        assert not rect.contains_point(0, 0)
+
+
+class TestColorBins:
+    def test_zero_values(self):
+        assert color_bins([0, 0, 0]) == [0, 0, 0]
+
+    def test_log_binning_orders_by_value(self):
+        bins = color_bins([1, 10, 100, 1000, 10000], num_bins=5)
+        assert bins == sorted(bins)
+        assert bins[0] == 0
+        assert bins[-1] == 4
+
+    def test_empty(self):
+        assert color_bins([]) == []
+
+
+class TestLayout:
+    def test_all_prefixes_present(self):
+        prefixes = _prefixes()
+        values = {p: float(i) for i, p in enumerate(prefixes)}
+        layout = zesplot_layout(prefixes, values)
+        assert len(layout.items) == len(prefixes)
+        assert {item.prefix for item in layout.items} == set(prefixes)
+
+    def test_ordering_by_length(self):
+        layout = zesplot_layout(_prefixes(), lambda p: 1.0)
+        lengths = [item.prefix.length for item in layout.items]
+        assert lengths == sorted(lengths)
+
+    def test_area_conservation_sized(self):
+        layout = zesplot_layout(_prefixes(), lambda p: 1.0, width=100, height=60, sized=True)
+        assert layout.total_area() == pytest.approx(100 * 60, rel=0.05)
+
+    def test_unsized_boxes_equal_area(self):
+        layout = zesplot_layout(_prefixes(), lambda p: 1.0, sized=False)
+        areas = [item.rect.area for item in layout.items]
+        assert max(areas) == pytest.approx(min(areas), rel=0.2)
+
+    def test_sized_larger_prefix_gets_more_area(self):
+        layout = zesplot_layout(_prefixes(), lambda p: 1.0, sized=True)
+        by_prefix = {item.prefix: item.rect.area for item in layout.items}
+        assert by_prefix[IPv6Prefix.parse("2001:100::/32")] > by_prefix[IPv6Prefix.parse("2001:500::1/128")]
+
+    def test_rects_within_canvas(self):
+        layout = zesplot_layout(_prefixes(), lambda p: 1.0, width=50, height=30)
+        for item in layout.items:
+            rect = item.rect
+            assert rect.x >= -1e-9 and rect.y >= -1e-9
+            assert rect.x + rect.width <= 50 + 1e-6
+            assert rect.y + rect.height <= 30 + 1e-6
+
+    def test_same_input_same_position(self):
+        prefixes = _prefixes()
+        layout_a = zesplot_layout(prefixes, lambda p: 1.0)
+        layout_b = zesplot_layout(prefixes, lambda p: 5.0)
+        # Positions depend only on the prefix list, not on the colour values.
+        for a, b in zip(layout_a.items, layout_b.items):
+            assert a.prefix == b.prefix
+            assert a.rect == b.rect
+
+    def test_item_at_lookup(self):
+        layout = zesplot_layout(_prefixes(), lambda p: 1.0)
+        first = layout.items[0]
+        centre_x = first.rect.x + first.rect.width / 2
+        centre_y = first.rect.y + first.rect.height / 2
+        assert layout.item_at(centre_x, centre_y) is first
+        assert layout.item_at(1e9, 1e9) is None
+
+    def test_values_dict_and_asn_dict(self):
+        prefixes = _prefixes()
+        values = {prefixes[0]: 10.0}
+        asns = {p: 64500 + i for i, p in enumerate(prefixes)}
+        layout = zesplot_layout(prefixes, values, asn_of=asns)
+        by_prefix = {item.prefix: item for item in layout.items}
+        assert by_prefix[prefixes[0]].value == 10.0
+        assert by_prefix[prefixes[1]].value == 0.0
+        assert by_prefix[prefixes[0]].asn == 64500
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_layout_never_loses_items(self, count):
+        prefixes = [IPv6Prefix((0x2001 << 112) | (i << 80), 48) for i in range(count)]
+        layout = zesplot_layout(prefixes, lambda p: 1.0)
+        assert len(layout.items) == count
+
+
+class TestRenderers:
+    def test_ascii_dimensions(self):
+        layout = zesplot_layout(_prefixes(), lambda p: 3.0)
+        text = render_ascii(layout, columns=40, rows=10)
+        lines = text.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+        assert any(c != " " for c in text)
+
+    def test_svg_contains_all_rects(self):
+        layout = zesplot_layout(_prefixes(), lambda p: 3.0)
+        svg = render_svg(layout)
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<rect") == len(layout.items)
+        assert "2001:100::/32" in svg

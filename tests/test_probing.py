@@ -1,0 +1,134 @@
+"""Tests for the probing engines (ZMap-style scanner, traceroute, fingerprinting)."""
+
+import pytest
+
+from repro.netmodel.services import ALL_PROTOCOLS, HostRole, Protocol
+from repro.probing import FingerprintProbe, ScanScheduler, TracerouteEngine, ZMapScanner
+
+
+@pytest.fixture(scope="module")
+def server_targets(tiny_internet):
+    hosts = tiny_internet.hosts_by_role(HostRole.WEB_SERVER, HostRole.CDN_EDGE, HostRole.DNS_SERVER)
+    return [h.primary_address for h in hosts[:300]]
+
+
+class TestZMapScanner:
+    def test_scan_finds_responsive_servers(self, tiny_internet, server_targets):
+        scanner = ZMapScanner(tiny_internet, seed=1)
+        result = scanner.scan(server_targets, Protocol.ICMP, day=0)
+        assert result.targets == len(server_targets)
+        assert 0.5 < result.response_rate <= 1.0
+
+    def test_scan_result_replies_match_targets(self, tiny_internet, server_targets):
+        scanner = ZMapScanner(tiny_internet, seed=1)
+        result = scanner.scan(server_targets, Protocol.TCP80, day=0)
+        assert result.responsive <= set(server_targets)
+        assert len(result) == len(result.replies)
+
+    def test_sweep_covers_all_protocols(self, tiny_internet, server_targets):
+        scanner = ZMapScanner(tiny_internet, seed=2)
+        sweep = scanner.sweep(server_targets[:100], day=0)
+        assert set(sweep) == set(ALL_PROTOCOLS)
+
+    def test_responsive_any_superset_of_each(self, tiny_internet, server_targets):
+        scanner = ZMapScanner(tiny_internet, seed=2)
+        sweep = scanner.sweep(server_targets[:100], day=0)
+        any_resp = ZMapScanner.responsive_any(sweep)
+        for protocol in ALL_PROTOCOLS:
+            assert ZMapScanner.responsive_on(sweep, protocol) <= any_resp
+
+    def test_retries_do_not_decrease_responses(self, tiny_internet, server_targets):
+        no_retry = ZMapScanner(tiny_internet, seed=3, retries=0)
+        with_retry = ZMapScanner(tiny_internet, seed=3, retries=2)
+        r0 = no_retry.scan(server_targets, Protocol.ICMP, day=0)
+        r2 = with_retry.scan(server_targets, Protocol.ICMP, day=0)
+        assert len(r2) >= len(r0) * 0.95
+
+    def test_empty_target_list(self, tiny_internet):
+        scanner = ZMapScanner(tiny_internet, seed=1)
+        result = scanner.scan([], Protocol.ICMP)
+        assert result.targets == 0
+        assert result.response_rate == 0.0
+
+
+class TestTraceroute:
+    def test_trace_returns_hops(self, tiny_internet, server_targets):
+        engine = TracerouteEngine(tiny_internet, seed=1)
+        result = engine.trace(server_targets[0])
+        assert result.responded
+        assert result.last_hop is not None
+
+    def test_trace_all_accumulates_discovered(self, tiny_internet, server_targets):
+        engine = TracerouteEngine(tiny_internet, seed=1)
+        engine.trace_all(server_targets[:50])
+        assert len(engine.discovered_addresses) > 5
+
+    def test_reaches_destination_asn_for_servers(self, tiny_internet, server_targets):
+        engine = TracerouteEngine(tiny_internet, seed=1)
+        results = engine.trace_all(server_targets[:50])
+        reached = sum(engine.reaches_destination_asn(r) for r in results)
+        assert reached > 20
+
+    def test_unrouted_target_is_silent(self, tiny_internet):
+        from repro.addr import IPv6Address
+
+        engine = TracerouteEngine(tiny_internet, seed=1)
+        result = engine.trace(IPv6Address.parse("2a0e::1"))
+        assert not result.responded
+        assert result.last_hop is None
+
+
+class TestFingerprintProbe:
+    def test_probe_returns_two_replies_for_responsive_host(self, tiny_internet):
+        hosts = [
+            h
+            for h in tiny_internet.hosts_by_role(HostRole.WEB_SERVER, HostRole.CDN_EDGE)
+            if Protocol.TCP80 in h.services
+        ]
+        probe = FingerprintProbe(tiny_internet, seed=1)
+        record = None
+        for host in hosts:
+            record = probe.probe(host.primary_address)
+            if len(record.replies) == 2:
+                break
+        assert record is not None and len(record.replies) == 2
+        assert record.options_texts[0]
+        assert record.mss_values and record.window_sizes and record.window_scales
+        assert all(t in (32, 64, 128, 255) for t in record.ittls)
+
+    def test_probe_unresponsive_address(self, tiny_internet):
+        from repro.addr import IPv6Address
+
+        probe = FingerprintProbe(tiny_internet, seed=1)
+        record = probe.probe(IPv6Address.parse("2a0e::1"))
+        assert not record.responded
+        assert record.timestamps == []
+
+    def test_probe_all(self, tiny_internet):
+        hosts = tiny_internet.hosts_by_role(HostRole.WEB_SERVER)[:20]
+        probe = FingerprintProbe(tiny_internet, seed=1)
+        records = probe.probe_all([h.primary_address for h in hosts])
+        assert len(records) == len(hosts)
+
+
+class TestScheduler:
+    def test_run_day(self, tiny_internet, server_targets):
+        scheduler = ScanScheduler(tiny_internet, seed=4)
+        result = scheduler.run_day(server_targets[:100], day=0)
+        assert result.day == 0
+        assert result.targets == 100
+        assert result.responsive_any
+        assert result.responsive_on(Protocol.ICMP) <= result.responsive_any
+
+    def test_fixed_campaign_days(self, tiny_internet, server_targets):
+        scheduler = ScanScheduler(tiny_internet, protocols=(Protocol.ICMP,), seed=4)
+        campaign = scheduler.run_fixed_campaign(server_targets[:80], days=range(3))
+        assert [r.day for r in campaign] == [0, 1, 2]
+        assert all(r.targets == 80 for r in campaign)
+
+    def test_campaign_with_day_dependent_targets(self, tiny_internet, server_targets):
+        scheduler = ScanScheduler(tiny_internet, protocols=(Protocol.ICMP,), seed=4)
+        campaign = scheduler.run_campaign(
+            lambda day: server_targets[: 10 * (day + 1)], days=range(3)
+        )
+        assert [r.targets for r in campaign] == [10, 20, 30]

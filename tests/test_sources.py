@@ -1,0 +1,210 @@
+"""Tests for hitlist sources (Section 3, 8, 9)."""
+
+import random
+
+import pytest
+
+from repro.addr import is_slaac_eui64
+from repro.sources import (
+    AXFRSource,
+    BitnodesSource,
+    CTLogsSource,
+    CrowdPlatform,
+    CrowdsourcingStudy,
+    DomainListsSource,
+    FDNSSource,
+    RDNSSource,
+    RIPEAtlasSource,
+    ScamperSource,
+    assemble_all_sources,
+)
+from repro.sources.base import growth_first_seen_day
+
+
+@pytest.fixture(scope="module")
+def assembly(small_internet):
+    return assemble_all_sources(small_internet, total_target=6000, seed=5, runup_days=120)
+
+
+class TestGrowthSampling:
+    def test_within_bounds(self):
+        rng = random.Random(0)
+        days = [growth_first_seen_day(rng, 100) for _ in range(1000)]
+        assert all(0 <= d < 100 for d in days)
+
+    def test_growth_is_backloaded(self):
+        rng = random.Random(0)
+        days = [growth_first_seen_day(rng, 100, explosiveness=3.0) for _ in range(5000)]
+        first_half = sum(1 for d in days if d < 50)
+        assert first_half < len(days) * 0.25
+
+    def test_zero_runup(self):
+        assert growth_first_seen_day(random.Random(0), 0) == 0
+
+
+class TestIndividualSources:
+    @pytest.mark.parametrize(
+        "source_cls",
+        [DomainListsSource, FDNSSource, CTLogsSource, AXFRSource, BitnodesSource, RIPEAtlasSource],
+    )
+    def test_source_produces_unique_addresses(self, small_internet, source_cls):
+        source = source_cls(small_internet, target_size=300, seed=1, runup_days=60)
+        snapshot = source.snapshot()
+        assert len(snapshot) > 50
+        assert len(set(snapshot)) == len(snapshot)
+
+    def test_snapshot_grows_over_time(self, small_internet):
+        source = DomainListsSource(small_internet, target_size=500, seed=2, runup_days=100)
+        early = len(source.snapshot(10))
+        late = len(source.snapshot(90))
+        total = len(source.snapshot())
+        assert early <= late <= total
+        assert late > early
+
+    def test_cumulative_counts_monotone(self, small_internet):
+        source = CTLogsSource(small_internet, target_size=400, seed=3, runup_days=100)
+        counts = source.cumulative_counts(range(0, 101, 10))
+        assert counts == sorted(counts)
+        assert counts[-1] == len(source)
+
+    def test_domainlists_concentrated_ct_even_more(self, small_internet):
+        dl = DomainListsSource(small_internet, target_size=800, seed=4, runup_days=60)
+        atlas = RIPEAtlasSource(small_internet, target_size=800, seed=4, runup_days=60)
+
+        def top_as_share(source):
+            counts = {}
+            for addr in source.snapshot():
+                asn = small_internet.asn_of(addr)
+                counts[asn] = counts.get(asn, 0) + 1
+            return max(counts.values()) / sum(counts.values())
+
+        assert top_as_share(dl) > top_as_share(atlas)
+
+    def test_domainlists_hits_aliased_regions(self, small_internet):
+        dl = DomainListsSource(small_internet, target_size=800, seed=4, runup_days=60)
+        aliased = sum(1 for a in dl.snapshot() if small_internet.is_aliased_truth(a))
+        assert aliased / len(dl.snapshot()) > 0.3
+
+    def test_scamper_mostly_slaac(self, small_internet):
+        scamper = ScamperSource(small_internet, target_size=1500, seed=5, runup_days=60)
+        assert scamper.slaac_share > 0.5
+
+    def test_scamper_discovers_router_addresses(self, small_internet):
+        targets = small_internet.addresses_by_role()[:0]  # no explicit targets
+        scamper = ScamperSource(
+            small_internet, target_size=500, seed=6, runup_days=60, traceroute_targets=targets
+        )
+        assert len(scamper) > 50
+
+    def test_ripeatlas_is_balanced(self, small_internet):
+        atlas = RIPEAtlasSource(small_internet, target_size=500, seed=7, runup_days=60)
+        counts = {}
+        for addr in atlas.snapshot():
+            asn = small_internet.asn_of(addr)
+            counts[asn] = counts.get(asn, 0) + 1
+        assert max(counts.values()) / sum(counts.values()) < 0.5
+
+
+class TestRDNS:
+    def test_rdns_mostly_new_addresses(self, small_internet):
+        rdns = RDNSSource(small_internet, target_size=800, seed=8, runup_days=60)
+        dl = DomainListsSource(small_internet, target_size=800, seed=9, runup_days=60)
+        overlap = rdns.snapshot().as_set() & dl.snapshot().as_set()
+        assert len(overlap) < len(rdns) * 0.2
+
+    def test_rdns_contains_unrouted_entries(self, small_internet):
+        rdns = RDNSSource(small_internet, target_size=800, seed=8, runup_days=60)
+        snapshot = rdns.snapshot().addresses
+        routed = rdns.routed_snapshot()
+        assert len(routed) < len(snapshot)
+        assert all(small_internet.bgp.is_routed(a) for a in routed)
+
+    def test_rdns_is_server_heavy(self, small_internet):
+        rdns = RDNSSource(small_internet, target_size=800, seed=8, runup_days=60)
+        slaac = sum(1 for a in rdns.routed_snapshot() if is_slaac_eui64(a))
+        assert slaac / len(rdns.routed_snapshot()) < 0.2
+
+
+class TestAssembly:
+    def test_all_sources_present(self, assembly):
+        names = {s.name for s in assembly.sources}
+        assert names == {"domainlists", "fdns", "ct", "axfr", "bitnodes", "ripeatlas", "scamper"}
+
+    def test_snapshot_unique(self, assembly):
+        merged = assembly.snapshot()
+        assert len(merged) == len(set(merged))
+        assert len(merged) > 2000
+
+    def test_source_stats_rows(self, assembly):
+        stats = assembly.source_stats()
+        assert len(stats) == 7
+        for row in stats:
+            assert row.new_ips <= row.total_ips
+            assert row.num_ases > 0
+            assert row.num_prefixes >= row.num_ases * 0 + 1
+            assert all(0 <= share <= 1 for _, share in row.top_as_shares)
+
+    def test_new_ips_sum_equals_merged(self, assembly):
+        stats = assembly.source_stats()
+        merged = assembly.snapshot()
+        assert sum(row.new_ips for row in stats) == len(merged)
+
+    def test_total_stats(self, assembly):
+        total = assembly.total_stats()
+        assert total.total_ips == len(assembly.snapshot())
+        assert total.num_ases > 10
+
+    def test_cumulative_runup_shape(self, assembly):
+        days = list(range(0, 121, 20))
+        runup = assembly.cumulative_runup(days)
+        assert set(runup) == {s.name for s in assembly.sources}
+        for counts in runup.values():
+            assert counts == sorted(counts)
+
+    def test_records_by_source(self, assembly):
+        per_source = assembly.records_by_source()
+        assert len(per_source) == 7
+        assert sum(len(v) for v in per_source.values()) >= len(assembly.snapshot())
+
+
+class TestCrowdsourcing:
+    @pytest.fixture(scope="class")
+    def study(self, small_internet):
+        return CrowdsourcingStudy(small_internet, seed=3, scale=0.2)
+
+    def test_both_platforms_present(self, study):
+        assert set(study.results) == {CrowdPlatform.MTURK, CrowdPlatform.PROLIFIC}
+
+    def test_mturk_larger_than_prolific(self, study):
+        assert (
+            study.results[CrowdPlatform.MTURK].ipv4_count
+            > study.results[CrowdPlatform.PROLIFIC].ipv4_count
+        )
+
+    def test_ipv6_adoption_rates(self, study):
+        mturk = study.results[CrowdPlatform.MTURK]
+        rate = mturk.ipv6_count / mturk.ipv4_count
+        assert 0.15 < rate < 0.50
+
+    def test_ipv6_addresses_are_client_addresses(self, study, small_internet):
+        from repro.netmodel.services import HostRole
+
+        for addr in study.all_ipv6_addresses()[:50]:
+            host = small_internet.host_of(addr)
+            assert host is not None
+            assert host.role in (HostRole.CLIENT, HostRole.CPE)
+
+    def test_summary_table_totals(self, study):
+        table = study.summary_table()
+        assert table["unique"]["ipv4_clients"] == (
+            table["mturk"]["ipv4_clients"] + table["prolific"]["ipv4_clients"]
+        )
+        assert table["unique"]["ipv6_clients"] >= table["mturk"]["ipv6_clients"]
+
+    def test_responsive_share_small(self, study):
+        total_v6 = len(study.all_ipv6_addresses())
+        responsive = len(study.responsive_participants())
+        assert responsive < total_v6 * 0.4
+
+    def test_uptime_hours_positive(self, study):
+        assert all(h > 0 for h in study.uptime_hours())
