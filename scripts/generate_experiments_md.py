@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Regenerate EXPERIMENTS.md: paper-reported vs measured, for every table/figure.
+"""Regenerate docs/EXPERIMENTS.md: paper-reported vs measured, per table/figure.
 
 Runs the full experiment registry over the default experiment configuration
-and writes EXPERIMENTS.md with, per experiment, the paper's reported values,
-the qualitative expectation ("what shape must hold"), and the measured report
-produced by this reproduction.
+and writes docs/EXPERIMENTS.md with, per experiment, the paper's reported
+values, the qualitative expectation ("what shape must hold"), and the measured
+report produced by this reproduction.  The generated file is committed and
+linked from the README; regenerate it after changes that shift measured
+numbers.
 
-Run with:  python scripts/generate_experiments_md.py
+Run with:  PYTHONPATH=src python scripts/generate_experiments_md.py
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from pathlib import Path
 from repro.experiments import run_all
 from repro.experiments.context import DEFAULT_EXPERIMENT_CONFIG, ExperimentContext
 
-OUTPUT = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+OUTPUT = Path(__file__).resolve().parent.parent / "docs" / "EXPERIMENTS.md"
 
 #: Per-experiment: (title, what the paper reports, what must hold in the reproduction).
 PAPER_EXPECTATIONS: dict[str, tuple[str, str, str]] = {
@@ -177,6 +179,7 @@ def main() -> None:
         lines.append("```")
         lines.append("")
 
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
     OUTPUT.write_text("\n".join(lines))
     print(f"Wrote {OUTPUT} ({len(lines)} lines) in {elapsed:.0f} s")
 

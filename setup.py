@@ -1,4 +1,16 @@
 """Setup shim for environments where PEP 660 editable installs are unavailable."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ipv6-hitlists",
+    version="0.1",
+    description=(
+        "Reproduction of 'Clusters in the Expanse: Understanding and "
+        "Unbiasing IPv6 Hitlists' (IMC 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    # numpy >= 2.0 is required for np.bitwise_count (AddressBatch popcounts).
+    install_requires=["numpy>=2.0"],
+)

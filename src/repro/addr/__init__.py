@@ -12,6 +12,10 @@ library is built on:
 * :mod:`repro.addr.generate` -- pseudo-random address generation inside a
   prefix and the nybble fan-out target generation used by aliased prefix
   detection (Table 3 of the paper).
+* :mod:`repro.addr.batch` -- columnar address batches (numpy ``uint64`` hi/lo
+  pairs) with bulk nybble/prefix/EUI-64 operations, flattened longest-prefix
+  matching and vectorised fan-out generation: the substrate of the batch
+  probing engine.
 * :mod:`repro.addr.asnum` -- autonomous-system number helpers.
 """
 
@@ -32,11 +36,19 @@ from repro.addr.generate import (
     random_addresses_in_prefix,
 )
 from repro.addr.asnum import ASN
+from repro.addr.batch import (
+    AddressBatch,
+    FlatLPM,
+    batch_fanout_targets,
+    random_batch_in_prefix,
+)
 
 __all__ = [
     "IPv6Address",
     "IPv6Prefix",
     "PrefixTrie",
+    "AddressBatch",
+    "FlatLPM",
     "ASN",
     "NYBBLES",
     "parse_address",
@@ -49,4 +61,6 @@ __all__ = [
     "fanout_targets",
     "random_address_in_prefix",
     "random_addresses_in_prefix",
+    "batch_fanout_targets",
+    "random_batch_in_prefix",
 ]

@@ -17,7 +17,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.addr.address import IPv6Address
+from repro.addr.batch import AddressBatch, FlatLPM, batch_fanout_targets
 from repro.addr.generate import FANOUT, fanout_targets
 from repro.addr.prefix import IPv6Prefix
 from repro.addr.trie import PrefixTrie
@@ -81,6 +84,8 @@ class APDResult:
     day: int
     outcomes: dict[IPv6Prefix, PrefixProbeOutcome] = field(default_factory=dict)
     _trie: PrefixTrie | None = field(default=None, repr=False, compare=False)
+    _flat: FlatLPM | None = field(default=None, repr=False, compare=False)
+    _flat_verdicts: "np.ndarray | None" = field(default=None, repr=False, compare=False)
 
     @property
     def probed_prefixes(self) -> list[IPv6Prefix]:
@@ -113,6 +118,17 @@ class APDResult:
             self._trie = trie
         return self._trie
 
+    def _ensure_flat(self) -> FlatLPM:
+        if self._flat is None:
+            self._flat = FlatLPM(
+                (prefix, outcome.is_aliased)
+                for prefix, outcome in self.outcomes.items()
+            )
+            self._flat_verdicts = np.array(
+                [bool(v) for v in self._flat.objects], dtype=bool
+            )
+        return self._flat
+
     def is_aliased(self, address: "IPv6Address | int | str") -> bool:
         """Longest-prefix-match classification of one address.
 
@@ -123,31 +139,83 @@ class APDResult:
         verdict = self._ensure_trie().lookup(address)
         return bool(verdict)
 
+    def is_aliased_batch(self, batch: AddressBatch) -> np.ndarray:
+        """Vectorised longest-prefix-match classification of a whole batch.
+
+        Same semantics as :meth:`is_aliased`, but one flattened-LPM binary
+        search for the entire array instead of a 128-step trie walk per
+        address.
+        """
+        flat = self._ensure_flat()
+        indices = flat.lookup_indices(batch)
+        result = np.zeros(len(batch), dtype=bool)
+        if flat.objects:
+            covered = indices >= 0
+            result[covered] = self._flat_verdicts[indices[covered]]
+        return result
+
     def filter_non_aliased(self, addresses: Iterable[IPv6Address]) -> list[IPv6Address]:
         """Addresses that do NOT fall into an aliased prefix (scan input)."""
-        return [a for a in addresses if not self.is_aliased(a)]
+        return self.split(addresses)[1]
 
-    def split(self, addresses: Iterable[IPv6Address]) -> tuple[list[IPv6Address], list[IPv6Address]]:
-        """Split addresses into (aliased, non-aliased) by longest-prefix match."""
+    def split(
+        self,
+        addresses: Iterable[IPv6Address],
+        batch: AddressBatch | None = None,
+    ) -> tuple[list[IPv6Address], list[IPv6Address]]:
+        """Split addresses into (aliased, non-aliased) by longest-prefix match.
+
+        Pass *batch* (the columnar view of the same addresses, in the same
+        order) to skip the conversion when the caller already holds one.
+        """
+        address_list = list(addresses)
+        if not address_list:
+            return [], []
+        if batch is None:
+            batch = AddressBatch.from_addresses(address_list)
+        hits = self.is_aliased_batch(batch)
         aliased: list[IPv6Address] = []
         clean: list[IPv6Address] = []
-        for address in addresses:
-            (aliased if self.is_aliased(address) else clean).append(address)
+        for address, hit in zip(address_list, hits.tolist()):
+            (aliased if hit else clean).append(address)
         return aliased, clean
 
 
 class AliasedPrefixDetector:
-    """The paper's multi-level APD over the simulated Internet."""
+    """The paper's multi-level APD over the simulated Internet.
+
+    Two probing engines are available:
+
+    * ``"batch"`` (default): fan-out targets for all candidate prefixes are
+      generated in one vectorised pass and resolved with a single
+      :meth:`SimulatedInternet.probe_batch` call -- the hot path for whole
+      hitlists, turning O(prefixes x 16 x protocols) Python probe round-trips
+      into a handful of array operations.
+    * ``"scalar"``: the original per-probe reference loop over
+      :meth:`SimulatedInternet.probe`, kept for parity testing, ablations and
+      benchmarks.
+
+    Both engines are deterministic per seed; they draw from independent
+    random streams, so their stochastic effects (loss, rate limits) are
+    identically distributed but not probe-for-probe identical.
+    """
 
     def __init__(
         self,
         internet: SimulatedInternet,
         config: APDConfig = APDConfig(),
         seed: int = 0,
+        engine: str = "batch",
     ):
+        if engine not in ("batch", "scalar"):
+            raise ValueError(f"unknown APD engine: {engine!r}")
+        if config.fanout != FANOUT:
+            raise ValueError("the paper's APD uses a fixed fan-out of 16 probes")
         self.internet = internet
         self.config = config
+        self.engine = engine
         self._rng = random.Random(seed)
+        self._nprng = np.random.default_rng(seed)
 
     # -- candidate selection ----------------------------------------------------
 
@@ -164,25 +232,43 @@ class AliasedPrefixDetector:
         (e.g. BGP announcements) are probed as given.
         """
         counts: dict[IPv6Prefix, int] = {}
-        for address in addresses:
+        if addresses:
+            batch = AddressBatch.from_addresses(addresses)
             for length in self.config.prefix_lengths:
-                prefix = IPv6Prefix.of(address, length)
-                counts[prefix] = counts.get(prefix, 0) + 1
+                networks = batch.masked(length)
+                stacked = np.stack((networks.hi, networks.lo), axis=1)
+                uniques, unique_counts = np.unique(stacked, axis=0, return_counts=True)
+                for (hi, lo), count in zip(uniques.tolist(), unique_counts.tolist()):
+                    counts[IPv6Prefix((hi << 64) | lo, length)] = count
         candidates: list[IPv6Prefix] = []
+        seen: set[IPv6Prefix] = set()
         for prefix, count in counts.items():
-            if count > self.config.min_targets_per_prefix:
+            if count > self.config.min_targets_per_prefix or (
+                prefix.length == 64 and self.config.always_probe_64
+            ):
                 candidates.append(prefix)
-            elif prefix.length == 64 and self.config.always_probe_64:
-                candidates.append(prefix)
+                seen.add(prefix)
         for prefix in extra_prefixes:
-            if prefix not in candidates:
+            if prefix not in seen:
+                seen.add(prefix)
                 candidates.append(prefix)
         return sorted(candidates)
 
     # -- probing -----------------------------------------------------------------
 
     def probe_prefix(self, prefix: IPv6Prefix, day: int = 0) -> PrefixProbeOutcome:
-        """Probe one prefix with the 16-branch fan-out on ICMPv6 and TCP/80."""
+        """Probe one prefix with the 16-branch fan-out on ICMPv6 and TCP/80.
+
+        Thin wrapper kept for backward compatibility: dispatches to the
+        detector's engine (a one-prefix batch, or the scalar reference loop).
+        """
+        if self.engine == "batch":
+            return self.probe_prefixes([prefix], day)[prefix]
+        return self._probe_prefix_scalar(prefix, day)
+
+    def _probe_prefix_scalar(self, prefix: IPv6Prefix, day: int = 0) -> PrefixProbeOutcome:
+        """Reference implementation: one :meth:`SimulatedInternet.probe` call
+        per target and protocol."""
         targets = fanout_targets(prefix, self._rng, self.config.fanout)
         outcome = PrefixProbeOutcome(prefix=prefix, day=day, targets=targets)
         for target in targets:
@@ -194,6 +280,44 @@ class AliasedPrefixDetector:
             outcome.branch_responses.append(answered)
         return outcome
 
+    def probe_prefixes(
+        self, prefixes: Iterable[IPv6Prefix], day: int = 0
+    ) -> dict[IPv6Prefix, PrefixProbeOutcome]:
+        """Probe many candidate prefixes in one vectorised pass (the hot path).
+
+        Fan-out targets for every prefix are generated with
+        :func:`batch_fanout_targets` and resolved by one
+        :meth:`SimulatedInternet.probe_batch` call; the per-prefix outcomes
+        are then reassembled from the responsiveness matrix.  Duplicate
+        prefixes collapse onto one outcome (probed once).
+        """
+        prefix_list = list(dict.fromkeys(prefixes))
+        if self.engine == "scalar":
+            return {p: self._probe_prefix_scalar(p, day) for p in prefix_list}
+        targets, prefix_index, _branch = batch_fanout_targets(prefix_list, self._nprng)
+        result = self.internet.probe_batch(
+            targets, self.config.protocols, day, rng=self._nprng
+        )
+        addresses = targets.to_addresses()
+        counts = np.bincount(prefix_index, minlength=len(prefix_list)).astype(np.int64)
+        starts = np.cumsum(counts) - counts
+        outcomes: dict[IPv6Prefix, PrefixProbeOutcome] = {}
+        for i, prefix in enumerate(prefix_list):
+            start, count = int(starts[i]), int(counts[i])
+            outcome = PrefixProbeOutcome(
+                prefix=prefix, day=day, targets=addresses[start : start + count]
+            )
+            outcome.branch_responses = [set() for _ in range(count)]
+            outcomes[prefix] = outcome
+        protocols = result.protocols
+        rows, cols = np.nonzero(result.responsive)
+        for row, col in zip(rows.tolist(), cols.tolist()):
+            i = int(prefix_index[row])
+            outcomes[prefix_list[i]].branch_responses[row - int(starts[i])].add(
+                protocols[col]
+            )
+        return outcomes
+
     def run(
         self,
         addresses: Sequence[IPv6Address] = (),
@@ -203,8 +327,7 @@ class AliasedPrefixDetector:
         """Run APD for a hitlist and/or an explicit prefix list on one day."""
         candidates = self.candidate_prefixes(addresses, extra_prefixes=prefixes)
         result = APDResult(day=day)
-        for prefix in candidates:
-            result.outcomes[prefix] = self.probe_prefix(prefix, day)
+        result.outcomes = self.probe_prefixes(candidates, day)
         return result
 
     def run_window(

@@ -18,7 +18,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.addr.address import IPv6Address, NYBBLES, nybbles_of
+from repro.addr.address import IPv6Address, NYBBLES
+from repro.addr.batch import AddressBatch
 
 #: The paper's minimum sample size per network (Eq. 1: n >= 100).
 MIN_ADDRESSES = 100
@@ -68,36 +69,48 @@ class EntropyFingerprint:
 
 
 def nybble_entropies(
-    addresses: Iterable["IPv6Address | int | str"],
+    addresses: "AddressBatch | Iterable[IPv6Address | int | str]",
     first_nybble: int = 1,
     last_nybble: int = NYBBLES,
 ) -> list[float]:
     """Normalised Shannon entropy of each nybble position across *addresses*.
 
     This is Eq. 5 of the paper evaluated for nybbles ``first..last`` (1-based,
-    inclusive).  The computation is vectorised: addresses are converted to a
-    (n, span) matrix of nybble values and entropies are computed per column.
+    inclusive).  Fully vectorised on the columnar :class:`AddressBatch`
+    representation: nybbles are extracted with bulk shift/mask operations and
+    all per-position histograms are produced by a single ``bincount`` over the
+    offset-encoded value matrix.  Accepts an :class:`AddressBatch` directly or
+    any iterable of address-like values.
     """
     if not 1 <= first_nybble <= last_nybble <= NYBBLES:
         raise ValueError(f"invalid nybble span {first_nybble}..{last_nybble}")
-    rows = [nybbles_of(a) for a in addresses]
-    if not rows:
+    batch = (
+        addresses
+        if isinstance(addresses, AddressBatch)
+        else AddressBatch.from_addresses(addresses)
+    )
+    n = len(batch)
+    if n == 0:
         raise ValueError("at least one address is required")
-    span = slice(first_nybble - 1, last_nybble)
-    matrix = np.array([[int(c, 16) for c in text[span]] for text in rows], dtype=np.int8)
-    entropies: list[float] = []
-    n = matrix.shape[0]
-    for column in matrix.T:
-        counts = np.bincount(column, minlength=16).astype(float)
-        probabilities = counts[counts > 0] / n
-        entropy = float(-(probabilities * np.log2(probabilities)).sum()) / 4.0
-        entropies.append(entropy)
-    return entropies
+    matrix = batch.nybbles_matrix(first_nybble, last_nybble).astype(np.int64)
+    span = last_nybble - first_nybble + 1
+    # One histogram per nybble position, computed in a single bincount by
+    # offsetting each column into its own bucket range of 16 values.
+    offsets = np.arange(span, dtype=np.int64) * 16
+    counts = np.bincount((matrix + offsets).ravel(), minlength=16 * span)
+    counts = counts.reshape(span, 16).astype(float)
+    probabilities = counts / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(
+            probabilities > 0, probabilities * np.log2(probabilities), 0.0
+        )
+    entropies = -terms.sum(axis=1) / 4.0
+    return [float(h) for h in entropies]
 
 
 def entropy_fingerprint(
     network: str,
-    addresses: Sequence["IPv6Address | int | str"],
+    addresses: "AddressBatch | Sequence[IPv6Address | int | str]",
     span: tuple[int, int] = FULL_SPAN,
     min_addresses: int = MIN_ADDRESSES,
     enforce_minimum: bool = True,

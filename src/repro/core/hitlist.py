@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from repro.addr.address import IPv6Address
+from repro.addr.batch import AddressBatch
 from repro.addr.prefix import IPv6Prefix
 from repro.core.apd import AliasedPrefixDetector, APDConfig, APDResult
 from repro.core.bias import CoverageStats, coverage_stats
@@ -37,10 +38,18 @@ class HitlistEntry:
 
 
 class Hitlist:
-    """A set of candidate scan targets with provenance and curation helpers."""
+    """A set of candidate scan targets with provenance and curation helpers.
+
+    Entries are kept in a dict for provenance merging; the columnar
+    :attr:`address_batch` view is materialised lazily (and invalidated on
+    mutation) so that curation steps -- APD candidate aggregation,
+    de-aliasing, entropy fingerprints -- run on numpy arrays instead of
+    per-address Python objects.
+    """
 
     def __init__(self, entries: Iterable[HitlistEntry] = ()):
         self._entries: dict[int, HitlistEntry] = {}
+        self._batch: AddressBatch | None = None
         for entry in entries:
             self.add(entry.address, entry.sources, entry.first_seen_day)
 
@@ -55,6 +64,7 @@ class Hitlist:
             self._entries[address.value] = HitlistEntry(
                 address=address, sources=set(sources), first_seen_day=first_seen_day
             )
+            self._batch = None
         else:
             entry.sources.update(sources)
             entry.first_seen_day = min(entry.first_seen_day, first_seen_day)
@@ -98,6 +108,13 @@ class Hitlist:
         return [entry.address for entry in self._entries.values()]
 
     @property
+    def address_batch(self) -> AddressBatch:
+        """All hitlist addresses as a columnar batch (cached until mutation)."""
+        if self._batch is None:
+            self._batch = AddressBatch.from_ints(list(self._entries))
+        return self._batch
+
+    @property
     def entries(self) -> list[HitlistEntry]:
         return list(self._entries.values())
 
@@ -111,12 +128,12 @@ class Hitlist:
     # -- curation -------------------------------------------------------------------
 
     def split_aliased(self, apd: APDResult) -> tuple[list[IPv6Address], list[IPv6Address]]:
-        """Split into (aliased, non-aliased) using the APD filter."""
-        return apd.split(self.addresses)
+        """Split into (aliased, non-aliased) using the APD filter (batch LPM)."""
+        return apd.split(self.addresses, batch=self.address_batch)
 
     def non_aliased(self, apd: APDResult) -> list[IPv6Address]:
         """Scan targets after removing addresses in aliased prefixes."""
-        return apd.filter_non_aliased(self.addresses)
+        return self.split_aliased(apd)[1]
 
     def coverage(self, internet: SimulatedInternet) -> CoverageStats:
         """AS/prefix coverage of the full hitlist."""

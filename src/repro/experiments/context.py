@@ -13,7 +13,10 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.addr.address import IPv6Address
+from repro.addr.batch import AddressBatch
 from repro.core.apd import AliasedPrefixDetector, APDConfig, APDResult
 from repro.core.hitlist import Hitlist
 from repro.netmodel.config import InternetConfig
@@ -153,14 +156,28 @@ class ExperimentContext:
         return result.responsive if result else set()
 
     def bgp_prefix_counts(self, addresses: Sequence[IPv6Address]) -> dict:
-        """Addresses per covering BGP prefix (zesplot colour values)."""
-        counts: dict = {}
-        for address in addresses:
-            prefix = self.internet.bgp.covering_prefix(address)
-            if prefix is None:
-                continue
-            counts[prefix] = counts.get(prefix, 0) + 1
-        return counts
+        """Addresses per covering BGP prefix (zesplot colour values).
+
+        Vectorised: one flattened-LPM lookup (shared with ``probe_batch``)
+        for the whole address list instead of a trie walk per address.
+        """
+        if not addresses:
+            return {}
+        batch = (
+            addresses
+            if isinstance(addresses, AddressBatch)
+            else AddressBatch.from_addresses(addresses)
+        )
+        flat = self.internet.bgp_lpm()
+        indices = flat.lookup_indices(batch)
+        covered = indices[indices >= 0]
+        if not covered.size:
+            return {}
+        unique, unique_counts = np.unique(covered, return_counts=True)
+        return {
+            flat.objects[i].prefix: int(c)
+            for i, c in zip(unique.tolist(), unique_counts.tolist())
+        }
 
     def bgp_origin_map(self) -> dict:
         """Announced prefix -> origin ASN for zesplot ordering."""

@@ -20,7 +20,7 @@ from repro.netmodel.host import Host
 from repro.netmodel.aliased import AliasedRegion
 from repro.netmodel.asregistry import ASCategory, ASDescriptor, ASRegistry
 from repro.netmodel.bgp import BGPAnnouncement, BGPTable
-from repro.netmodel.internet import SimulatedInternet
+from repro.netmodel.internet import BatchProbeResult, SimulatedInternet
 from repro.netmodel.packets import ProbeReply
 
 __all__ = [
@@ -42,5 +42,6 @@ __all__ = [
     "BGPAnnouncement",
     "BGPTable",
     "SimulatedInternet",
+    "BatchProbeResult",
     "ProbeReply",
 ]

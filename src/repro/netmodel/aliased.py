@@ -25,6 +25,10 @@ from repro.netmodel.host import Host
 from repro.netmodel.packets import ProbeReply
 from repro.netmodel.services import Protocol
 
+#: Probability that a SYN-proxy region answers any individual TCP probe
+#: (shared by the scalar reply path and the batch probing engine).
+SYN_PROXY_ANSWER_PROBABILITY = 0.35
+
 
 @dataclass(slots=True)
 class AliasedRegion:
@@ -60,7 +64,7 @@ class AliasedRegion:
             return None
         if not self.host.stability.is_online(day):
             return None
-        if self.syn_proxy and protocol.is_tcp and rng.random() > 0.35:
+        if self.syn_proxy and protocol.is_tcp and rng.random() > SYN_PROXY_ANSWER_PROBABILITY:
             return None
         if self.icmp_rate_limit is not None and protocol is Protocol.ICMP:
             if rng.random() > self.icmp_rate_limit:

@@ -16,21 +16,26 @@ Internet with the structural properties the paper relies on:
 * day-granular churn so longitudinal scans observe source-dependent decay.
 
 The measurement code in :mod:`repro.core` interacts with this class only
-through :meth:`SimulatedInternet.probe` and :meth:`SimulatedInternet.traceroute`;
-everything else is ground truth reserved for validation.
+through :meth:`SimulatedInternet.probe` (one address, one protocol),
+:meth:`SimulatedInternet.probe_batch` (whole target arrays at once) and
+:meth:`SimulatedInternet.traceroute`; everything else is ground truth reserved
+for validation.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro.addr.address import IPv6Address, parse_address
+from repro.addr.batch import AddressBatch, FlatLPM, find128
 from repro.addr.generate import random_address_in_prefix
 from repro.addr.prefix import IPv6Prefix
 from repro.addr.trie import PrefixTrie
-from repro.netmodel.aliased import AliasedRegion
+from repro.netmodel.aliased import SYN_PROXY_ANSWER_PROBABILITY, AliasedRegion
 from repro.netmodel.asregistry import ASCategory, ASDescriptor, ASRegistry
 from repro.netmodel.bgp import BGPAnnouncement, BGPTable
 from repro.netmodel.config import DEFAULT_CONFIG, InternetConfig
@@ -44,7 +49,7 @@ from repro.netmodel.schemes import (
     generate_address,
     pick_scheme,
 )
-from repro.netmodel.services import HostRole, Protocol, profile_for
+from repro.netmodel.services import ALL_PROTOCOLS, HostRole, Protocol, profile_for
 from repro.netmodel.topology import RouterPath, Topology
 
 #: Base of the synthetic allocation space: allocation *i* is ``2001:i::/32``-like.
@@ -90,6 +95,166 @@ _ROLE_MIX: dict[ASCategory, tuple[tuple[HostRole, float], ...]] = {
 }
 
 
+#: Bit assigned to each protocol in vectorised service masks.
+_PROTOCOL_BIT: dict[Protocol, int] = {p: 1 << i for i, p in enumerate(ALL_PROTOCOLS)}
+
+
+def _service_mask(services: Iterable[Protocol]) -> int:
+    mask = 0
+    for protocol in services:
+        mask |= _PROTOCOL_BIT[protocol]
+    return mask
+
+
+@dataclass(slots=True)
+class BatchProbeResult:
+    """Responsiveness of a whole target batch on several protocols.
+
+    ``responsive[i, j]`` is True when target *i* answered on ``protocols[j]``.
+    Unlike the scalar :meth:`SimulatedInternet.probe` this carries no
+    per-packet :class:`ProbeReply` objects -- it is the bulk answer the hot
+    paths (APD, responsiveness scans) actually need.
+    """
+
+    day: int
+    protocols: tuple[Protocol, ...]
+    targets: AddressBatch
+    responsive: np.ndarray
+
+    def column(self, protocol: Protocol) -> np.ndarray:
+        """Boolean responsiveness of every target on one protocol."""
+        return self.responsive[:, self.protocols.index(protocol)]
+
+    @property
+    def responsive_any(self) -> np.ndarray:
+        """Boolean array: responsive on at least one probed protocol."""
+        return self.responsive.any(axis=1)
+
+    def count(self, protocol: Optional[Protocol] = None) -> int:
+        """Number of responsive targets (on one protocol, or on any)."""
+        if protocol is None:
+            return int(self.responsive_any.sum())
+        return int(self.column(protocol).sum())
+
+    def responsive_addresses(self, protocol: Optional[Protocol] = None) -> list[IPv6Address]:
+        """The responsive targets as scalar addresses."""
+        mask = self.responsive_any if protocol is None else self.column(protocol)
+        return self.targets.take(np.nonzero(mask)[0]).to_addresses()
+
+
+class _BatchIndex:
+    """Vectorised lookup structures derived once from the built Internet.
+
+    Holds flattened LPM tables for routing, ICMP rate limiting and aliased
+    regions, a sorted array of bound host addresses for exact matching, and
+    per-host/per-region service masks -- everything :meth:`probe_batch` needs
+    to classify a target array without touching Python tries.
+    """
+
+    __slots__ = (
+        "bgp",
+        "limits",
+        "limit_values",
+        "regions",
+        "bound_hi",
+        "bound_lo",
+        "bound_host",
+        "hosts",
+        "host_services",
+        "region_list",
+        "region_services",
+        "region_answer_p",
+        "region_syn_proxy",
+        "region_icmp_limit",
+        "_host_online",
+        "_region_online",
+    )
+
+    def __init__(self, internet: "SimulatedInternet"):
+        self.bgp = FlatLPM((ann.prefix, ann) for ann in internet.bgp)
+        limit_items = list(internet._icmp_rate_limited.items())
+        self.limits = FlatLPM(limit_items)
+        self.limit_values = np.array([v for _, v in limit_items], dtype=float)
+        self.regions = FlatLPM(
+            (region.prefix, region) for region in internet.aliased_regions
+        )
+        self.hosts = internet.hosts
+        bound = AddressBatch.from_ints(list(internet._host_by_address))
+        order = bound.argsort()
+        bound = bound.take(order)
+        self.bound_hi = bound.hi
+        self.bound_lo = bound.lo
+        position_of = {id(host): i for i, host in enumerate(internet.hosts)}
+        owners = np.fromiter(
+            (
+                position_of[id(host)]
+                for host in internet._host_by_address.values()
+            ),
+            dtype=np.int64,
+            count=len(internet._host_by_address),
+        )
+        self.bound_host = owners[order]
+        self.host_services = np.fromiter(
+            (_service_mask(h.services) for h in internet.hosts),
+            dtype=np.int64,
+            count=len(internet.hosts),
+        )
+        self.region_list = internet.aliased_regions
+        self.region_services = np.fromiter(
+            (_service_mask(r.host.services) for r in self.region_list),
+            dtype=np.int64,
+            count=len(self.region_list),
+        )
+        self.region_answer_p = np.array(
+            [r.answer_probability for r in self.region_list], dtype=float
+        )
+        self.region_syn_proxy = np.array(
+            [r.syn_proxy for r in self.region_list], dtype=bool
+        )
+        self.region_icmp_limit = np.array(
+            [np.nan if r.icmp_rate_limit is None else r.icmp_rate_limit for r in self.region_list],
+            dtype=float,
+        )
+        self._host_online: dict[int, np.ndarray] = {}
+        self._region_online: dict[int, np.ndarray] = {}
+
+    def host_positions(self, batch: AddressBatch) -> np.ndarray:
+        """Index into ``hosts`` for each bound address, -1 where unbound."""
+        pos = find128(self.bound_hi, self.bound_lo, batch.hi, batch.lo)
+        return np.where(pos >= 0, self.bound_host[np.maximum(pos, 0)], np.int64(-1))
+
+    def region_online(self, day: int) -> np.ndarray:
+        """Boolean online state of every aliased region's machine on *day*."""
+        cached = self._region_online.get(day)
+        if cached is None:
+            cached = np.fromiter(
+                (r.host.stability.is_online(day) for r in self.region_list),
+                dtype=bool,
+                count=len(self.region_list),
+            )
+            self._region_online[day] = cached
+        return cached
+
+    def host_online(self, day: int, host_positions: np.ndarray) -> np.ndarray:
+        """Per-target online state for targets bound to hosts (False elsewhere).
+
+        Stability is evaluated lazily per (host, day) and memoised, so sparse
+        batches only pay for the hosts they actually hit.
+        """
+        cache = self._host_online.get(day)
+        if cache is None:
+            cache = np.full(len(self.hosts), -1, dtype=np.int8)
+            self._host_online[day] = cache
+        hit = host_positions[host_positions >= 0]
+        unknown = np.unique(hit[cache[hit] < 0]) if hit.size else hit
+        for position in unknown.tolist():
+            cache[position] = 1 if self.hosts[position].stability.is_online(day) else 0
+        online = np.zeros(host_positions.shape, dtype=bool)
+        bound = host_positions >= 0
+        online[bound] = cache[host_positions[bound]] == 1
+        return online
+
+
 @dataclass(slots=True)
 class NetworkPlan:
     """Ground truth for one allocation block of one AS."""
@@ -129,6 +294,9 @@ class SimulatedInternet:
         # Popular /64 pods per aliased region, grown lazily by
         # sample_aliased_addresses (keyed by region identity).
         self._aliased_pods: dict[int, list[IPv6Prefix]] = {}
+        # Vectorised lookup structures for probe_batch, built on first use
+        # (the Internet is immutable once _build returns).
+        self._batch_index: Optional[_BatchIndex] = None
         self._build()
 
     # ------------------------------------------------------------------ build
@@ -392,6 +560,112 @@ class SimulatedInternet:
         if host is None:
             return None
         return host.reply(addr, protocol, day, time_of_day)
+
+    def _ensure_batch_index(self) -> _BatchIndex:
+        if self._batch_index is None:
+            self._batch_index = _BatchIndex(self)
+        return self._batch_index
+
+    def bgp_lpm(self) -> FlatLPM:
+        """Flattened LPM over the BGP table, shared with :meth:`probe_batch`.
+
+        Values are :class:`BGPAnnouncement` objects; use it to map whole
+        address batches to covering announcements without per-address trie
+        walks.
+        """
+        return self._ensure_batch_index().bgp
+
+    def probe_batch(
+        self,
+        targets: "AddressBatch | Iterable[IPv6Address | int | str]",
+        protocols: Optional[Sequence[Protocol]] = None,
+        day: int = 0,
+        *,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> BatchProbeResult:
+        """Resolve responsiveness for a whole target array in one pass.
+
+        The vectorised counterpart of :meth:`probe`: routing, ICMP rate
+        limiting, aliased-region membership and bound-host lookup are resolved
+        for the entire batch with flattened longest-prefix matching and sorted
+        binary search, then per-protocol service/stability checks and the
+        stochastic effects (loss, rate limits, SYN proxies) are applied as
+        array operations.
+
+        Stochastic draws come from a dedicated numpy generator (pass ``rng``
+        for reproducibility; by default one is derived from the master probe
+        stream), so batch results are identically distributed -- but not
+        probe-for-probe identical -- to a sequence of scalar :meth:`probe`
+        calls.  With loss, rate limiting and SYN proxies out of the picture
+        the two paths agree exactly; ``tests/test_probe_batch.py`` pins that
+        parity down.
+        """
+        protocols = ALL_PROTOCOLS if protocols is None else tuple(protocols)
+        if not isinstance(targets, AddressBatch):
+            targets = AddressBatch.from_addresses(targets)
+        if rng is None:
+            rng = np.random.default_rng(self._probe_rng.getrandbits(63))
+        elif isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        n = len(targets)
+        responsive = np.zeros((n, len(protocols)), dtype=bool)
+        result = BatchProbeResult(
+            day=day, protocols=protocols, targets=targets, responsive=responsive
+        )
+        if n == 0:
+            return result
+        index = self._ensure_batch_index()
+        routed = index.bgp.lookup_indices(targets) >= 0
+        limit_index = index.limits.lookup_indices(targets)
+        region_index = index.regions.lookup_indices(targets)
+        # Aliased regions answer before bound hosts, as in the scalar path.
+        host_positions = np.where(
+            region_index >= 0, np.int64(-1), index.host_positions(targets)
+        )
+        in_region = region_index >= 0
+        region_rows = region_index[in_region]
+        bound = host_positions >= 0
+        region_online = index.region_online(day)
+        host_online = index.host_online(day, host_positions)
+        loss = self.config.packet_loss
+        for j, protocol in enumerate(protocols):
+            bit = _PROTOCOL_BIT[protocol]
+            # Fresh array per protocol: the rate-limit branch below mutates
+            # `delivered` in place and must never alias the shared `routed`.
+            delivered = routed.copy() if loss <= 0.0 else routed & (rng.random(n) >= loss)
+            if protocol is Protocol.ICMP and len(index.limits):
+                limited = limit_index >= 0
+                if limited.any():
+                    allowance = np.ones(n)
+                    allowance[limited] = index.limit_values[limit_index[limited]]
+                    delivered &= ~limited | (rng.random(n) <= allowance)
+            answered = np.zeros(n, dtype=bool)
+            if region_rows.size:
+                ok = (index.region_services[region_rows] & bit) != 0
+                ok &= region_online[region_rows]
+                if protocol.is_tcp and index.region_syn_proxy.any():
+                    syn = index.region_syn_proxy[region_rows]
+                    ok &= ~syn | (
+                        rng.random(region_rows.size) <= SYN_PROXY_ANSWER_PROBABILITY
+                    )
+                if protocol is Protocol.ICMP:
+                    limit = index.region_icmp_limit[region_rows]
+                    has_limit = ~np.isnan(limit)
+                    if has_limit.any():
+                        ok &= ~has_limit | (
+                            rng.random(region_rows.size) <= np.nan_to_num(limit, nan=1.0)
+                        )
+                answer_p = index.region_answer_p[region_rows]
+                if (answer_p < 1.0).any():
+                    ok &= rng.random(region_rows.size) <= answer_p
+                answered[in_region] = ok
+            if bound.any():
+                positions = host_positions[bound]
+                ok = (index.host_services[positions] & bit) != 0
+                ok &= host_online[bound]
+                answered[bound] = ok
+            responsive[:, j] = delivered & answered
+        return result
 
     def traceroute(
         self,

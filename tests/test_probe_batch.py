@@ -1,0 +1,224 @@
+"""Batch/scalar parity for the probing engine.
+
+``SimulatedInternet.probe_batch`` and the scalar ``probe`` draw their
+stochastic effects (loss, rate limits, SYN proxies) from different random
+streams, so exact parity is asserted on a loss-free Internet restricted to
+deterministic behaviours; distribution-level properties cover the rest.  The
+same applies to the two APD engines.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.addr import IPv6Address, IPv6Prefix
+from repro.addr.batch import AddressBatch, random_batch_in_prefix
+from repro.addr.generate import random_addresses_in_prefix
+from repro.core.apd import AliasedPrefixDetector, APDConfig
+from repro.netmodel import InternetConfig, SimulatedInternet
+from repro.netmodel.services import ALL_PROTOCOLS, HostRole, Protocol
+
+#: Loss-free tiny Internet: every non-stochastic probe outcome is deterministic.
+LOSSLESS_CONFIG = InternetConfig(
+    seed=7,
+    num_ases=40,
+    base_hosts_per_allocation=8,
+    max_hosts_per_allocation=120,
+    study_days=20,
+    packet_loss=0.0,
+    icmp_rate_limited_share=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def lossless_internet() -> SimulatedInternet:
+    return SimulatedInternet(LOSSLESS_CONFIG)
+
+
+def _deterministic_regions(internet):
+    """Aliased regions whose replies carry no per-probe randomness."""
+    return [
+        r
+        for r in internet.aliased_regions
+        if not r.syn_proxy and r.icmp_rate_limit is None and r.answer_probability >= 1.0
+    ]
+
+
+@pytest.fixture(scope="module")
+def deterministic_targets(lossless_internet):
+    """Bound hosts, aliased-region addresses and unrouted noise."""
+    rng = random.Random(13)
+    values = [a.value for a in lossless_internet.all_bound_addresses()[:500]]
+    for region in _deterministic_regions(lossless_internet)[:25]:
+        host_bits = 128 - region.prefix.length
+        for _ in range(8):
+            values.append(region.prefix.network | rng.getrandbits(host_bits))
+    values += [rng.getrandbits(128) for _ in range(250)]  # almost surely unrouted
+    return values
+
+
+class TestProbeBatchParity:
+    def test_exact_parity_with_scalar_probe(self, lossless_internet, deterministic_targets):
+        batch = AddressBatch.from_ints(deterministic_targets)
+        result = lossless_internet.probe_batch(batch, ALL_PROTOCOLS, day=0, rng=0)
+        for j, protocol in enumerate(ALL_PROTOCOLS):
+            expected = [
+                lossless_internet.probe(IPv6Address(v), protocol, day=0) is not None
+                for v in deterministic_targets
+            ]
+            assert result.responsive[:, j].tolist() == expected, protocol
+
+    def test_parity_across_days(self, lossless_internet, deterministic_targets):
+        batch = AddressBatch.from_ints(deterministic_targets[:300])
+        for day in (0, 3, 11):
+            result = lossless_internet.probe_batch(
+                batch, (Protocol.ICMP, Protocol.TCP80), day=day, rng=day
+            )
+            for j, protocol in enumerate((Protocol.ICMP, Protocol.TCP80)):
+                expected = [
+                    lossless_internet.probe(a, protocol, day=day) is not None
+                    for a in batch
+                ]
+                assert result.responsive[:, j].tolist() == expected
+
+    def test_accepts_address_iterables(self, lossless_internet):
+        host = lossless_internet.hosts_by_role(HostRole.WEB_SERVER)[0]
+        result = lossless_internet.probe_batch(
+            [host.primary_address], ALL_PROTOCOLS, day=0, rng=1
+        )
+        expected = {
+            p for p in ALL_PROTOCOLS
+            if lossless_internet.probe(host.primary_address, p, day=0) is not None
+        }
+        got = {p for p in ALL_PROTOCOLS if result.column(p)[0]}
+        assert got == expected
+
+    def test_result_accessors(self, lossless_internet):
+        region = _deterministic_regions(lossless_internet)[0]
+        batch = random_batch_in_prefix(region.prefix, 50, np.random.default_rng(3))
+        result = lossless_internet.probe_batch(
+            batch, (Protocol.ICMP, Protocol.TCP80), day=0, rng=2
+        )
+        assert result.count() == int(result.responsive_any.sum())
+        assert result.count(Protocol.ICMP) == 50  # region serves ICMP, no loss
+        assert len(result.responsive_addresses(Protocol.ICMP)) == 50
+        assert set(result.responsive_addresses()) <= set(batch.to_addresses())
+
+    def test_empty_batch(self, lossless_internet):
+        result = lossless_internet.probe_batch(AddressBatch.empty(), ALL_PROTOCOLS, day=0)
+        assert result.responsive.shape == (0, len(ALL_PROTOCOLS))
+        assert result.count() == 0
+
+    def test_icmp_rate_limit_does_not_leak_into_other_protocols(self):
+        """Regression: the ICMP allowance draw must not corrupt the shared
+        routed array and suppress later protocol columns (aliasing bug)."""
+        net = SimulatedInternet(
+            InternetConfig(
+                seed=7,
+                num_ases=40,
+                base_hosts_per_allocation=8,
+                max_hosts_per_allocation=120,
+                packet_loss=0.0,
+                icmp_rate_limited_share=0.5,
+            )
+        )
+        region = _deterministic_regions(net)[0]
+        batch = random_batch_in_prefix(region.prefix, 500, np.random.default_rng(8))
+        result = net.probe_batch(batch, (Protocol.ICMP, Protocol.TCP80), day=0, rng=9)
+        # Non-ICMP columns are deterministic at zero loss: exact scalar parity,
+        # regardless of how many ICMP draws were rate-limited away.
+        expected_tcp = [net.probe(a, Protocol.TCP80, day=0) is not None for a in batch]
+        assert result.column(Protocol.TCP80).tolist() == expected_tcp
+        # And protocol order must not matter for the non-ICMP column.
+        reordered = net.probe_batch(batch, (Protocol.TCP80, Protocol.ICMP), day=0, rng=9)
+        assert reordered.column(Protocol.TCP80).tolist() == expected_tcp
+
+    def test_loss_thins_responses_statistically(self):
+        lossy = SimulatedInternet(
+            InternetConfig(
+                seed=7,
+                num_ases=40,
+                base_hosts_per_allocation=8,
+                max_hosts_per_allocation=120,
+                packet_loss=0.3,
+            )
+        )
+        region = _deterministic_regions(lossy)[0]
+        batch = random_batch_in_prefix(region.prefix, 4000, np.random.default_rng(4))
+        result = lossy.probe_batch(batch, (Protocol.ICMP,), day=0, rng=5)
+        rate = result.count(Protocol.ICMP) / len(batch)
+        assert 0.6 < rate < 0.8  # ~1 - packet_loss
+
+    def test_rng_seed_reproducible(self, lossless_internet, deterministic_targets):
+        batch = AddressBatch.from_ints(deterministic_targets[:200])
+        first = lossless_internet.probe_batch(batch, ALL_PROTOCOLS, day=0, rng=42)
+        second = lossless_internet.probe_batch(batch, ALL_PROTOCOLS, day=0, rng=42)
+        assert (first.responsive == second.responsive).all()
+
+
+class TestAPDEngineParity:
+    @pytest.fixture(scope="class")
+    def sample(self, lossless_internet):
+        rng = random.Random(3)
+        servers = [
+            h.primary_address
+            for h in lossless_internet.hosts_by_role(HostRole.WEB_SERVER)
+        ][:150]
+        region = next(
+            r
+            for r in _deterministic_regions(lossless_internet)
+            if r.prefix.length <= 96 and Protocol.TCP80 in r.host.services
+        )
+        aliased = random_addresses_in_prefix(
+            IPv6Prefix.of(region.prefix.network, 100), 150, rng
+        )
+        return servers + aliased
+
+    def test_candidates_identical(self, lossless_internet, sample):
+        batch_detector = AliasedPrefixDetector(lossless_internet, seed=1)
+        scalar_detector = AliasedPrefixDetector(lossless_internet, seed=1, engine="scalar")
+        assert batch_detector.candidate_prefixes(sample) == scalar_detector.candidate_prefixes(sample)
+
+    def test_same_aliased_prefixes_and_classification(self, lossless_internet, sample):
+        batch_result = AliasedPrefixDetector(lossless_internet, seed=2).run(sample, day=0)
+        scalar_result = AliasedPrefixDetector(
+            lossless_internet, seed=2, engine="scalar"
+        ).run(sample, day=0)
+        assert set(batch_result.outcomes) == set(scalar_result.outcomes)
+        assert set(batch_result.aliased_prefixes) == set(scalar_result.aliased_prefixes)
+        for address in sample:
+            assert batch_result.is_aliased(address) == scalar_result.is_aliased(address)
+
+    def test_batch_classification_matches_scalar_lpm(self, lossless_internet, sample):
+        result = AliasedPrefixDetector(lossless_internet, seed=2).run(sample, day=0)
+        batch_verdicts = result.is_aliased_batch(AddressBatch.from_addresses(sample))
+        assert batch_verdicts.tolist() == [result.is_aliased(a) for a in sample]
+        aliased, clean = result.split(sample)
+        assert len(aliased) + len(clean) == len(sample)
+        assert result.filter_non_aliased(sample) == clean
+
+    def test_invalid_engine_rejected(self, lossless_internet):
+        with pytest.raises(ValueError):
+            AliasedPrefixDetector(lossless_internet, engine="warp")
+
+    def test_duplicate_prefixes_probed_once(self, lossless_internet):
+        region = _deterministic_regions(lossless_internet)[0]
+        prefix = IPv6Prefix.of(region.prefix.network, max(64, region.prefix.length))
+        detector = AliasedPrefixDetector(lossless_internet, seed=6)
+        outcomes = detector.probe_prefixes([prefix, prefix, prefix], day=0)
+        assert list(outcomes) == [prefix]
+        outcome = outcomes[prefix]
+        assert len(outcome.targets) == 16
+        assert len(outcome.branch_responses) == 16
+        # Responses belong to this outcome's own 16 targets only.
+        assert outcome.probes_sent == 32
+
+    def test_probe_prefix_wrapper_matches_probe_prefixes(self, lossless_internet):
+        region = _deterministic_regions(lossless_internet)[0]
+        prefix = IPv6Prefix.of(region.prefix.network, max(64, region.prefix.length))
+        detector = AliasedPrefixDetector(lossless_internet, seed=4)
+        outcome = detector.probe_prefix(prefix, day=0)
+        assert outcome.prefix == prefix
+        assert len(outcome.targets) == 16
+        assert outcome.is_aliased  # fully aliased, loss-free
