@@ -223,6 +223,30 @@ class AddressBatch:
         keep[1:] = (s.hi[1:] != s.hi[:-1]) | (s.lo[1:] != s.lo[:-1])
         return s.take(keep)
 
+    def prefix_groups(
+        self, length: int
+    ) -> tuple[np.ndarray, np.ndarray, "AddressBatch"]:
+        """Group the batch by covering /*length* prefix in one sort.
+
+        Returns ``(order, starts, networks)`` where ``order`` sorts the batch
+        by masked prefix (ties broken arbitrarily but deterministically),
+        ``starts[g]`` is the first position of group *g* within the sorted
+        batch, and ``networks`` holds each group's network address (one entry
+        per group, ascending).  This is the batch equivalent of
+        ``group_by_prefix``: one ``lexsort`` + one boundary scan instead of a
+        Python dict fill with per-address ``IPv6Prefix`` construction.
+        """
+        masked = self.masked(length)
+        order = np.lexsort((masked.lo, masked.hi))
+        if len(self) == 0:
+            return order, np.zeros(0, dtype=np.int64), AddressBatch.empty()
+        hi = masked.hi[order]
+        lo = masked.lo[order]
+        boundary = np.ones(len(self), dtype=bool)
+        boundary[1:] = (hi[1:] != hi[:-1]) | (lo[1:] != lo[:-1])
+        starts = np.flatnonzero(boundary).astype(np.int64)
+        return order, starts, AddressBatch(hi[starts], lo[starts])
+
 
 def searchsorted128(
     sorted_hi: np.ndarray,

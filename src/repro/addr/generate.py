@@ -12,7 +12,10 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.addr.address import BITS, IPv6Address
+from repro.addr.batch import AddressBatch
 from repro.addr.prefix import IPv6Prefix, parse_prefix
 
 #: Number of fan-out probes used by multi-level APD (one per nybble value).
@@ -118,3 +121,36 @@ def sample_capped(
     if len(addresses) <= cap:
         return list(addresses)
     return rng.sample(list(addresses), cap)
+
+
+def synthetic_mixed_batch(
+    count: int,
+    num_prefixes: int,
+    seed: int,
+    counter_modulus: int = 512,
+    round_robin: bool = False,
+) -> AddressBatch:
+    """A synthetic hitlist batch over ``num_prefixes`` /32s with mixed schemes.
+
+    The lower half of the prefixes uses small counter IIDs, the upper half
+    random IIDs — the two addressing styles the Section 4 entropy clustering
+    must tell apart.  Used by the clustering parity tests and benchmarks so
+    both exercise the same data shape.  ``round_robin`` fills the prefixes
+    with exactly equal sizes; the default assigns prefixes randomly.
+    """
+    rng = np.random.default_rng(seed)
+    if round_robin:
+        prefix_index = np.arange(count, dtype=np.uint64) % np.uint64(num_prefixes)
+    else:
+        prefix_index = rng.integers(0, num_prefixes, count).astype(np.uint64)
+    hi = (
+        (np.uint64(0x2001) << np.uint64(48))
+        | (prefix_index << np.uint64(32))
+        | rng.integers(0, 2**32, count, dtype=np.uint64)
+    )
+    lo = rng.integers(0, 2**64 - 1, count, dtype=np.uint64, endpoint=True)
+    counter_style = prefix_index < np.uint64(max(1, num_prefixes // 2))
+    lo[counter_style] = (
+        np.arange(count, dtype=np.uint64) % np.uint64(counter_modulus)
+    )[counter_style]
+    return AddressBatch(hi, lo)

@@ -16,7 +16,12 @@
 * :mod:`repro.core.bias` -- AS/prefix balance metrics and top-X distributions.
 """
 
-from repro.core.entropy import EntropyFingerprint, entropy_fingerprint, nybble_entropies
+from repro.core.entropy import (
+    EntropyFingerprint,
+    entropy_fingerprint,
+    grouped_nybble_entropies,
+    nybble_entropies,
+)
 from repro.core.clustering import (
     ClusteringResult,
     EntropyClustering,
@@ -34,6 +39,7 @@ from repro.core.bias import top_x_fractions, concentration_index, coverage_stats
 __all__ = [
     "EntropyFingerprint",
     "entropy_fingerprint",
+    "grouped_nybble_entropies",
     "nybble_entropies",
     "EntropyClustering",
     "ClusteringResult",

@@ -23,6 +23,7 @@ from repro.addr.address import IPv6Address
 from repro.addr.batch import AddressBatch, FlatLPM, batch_fanout_targets
 from repro.addr.generate import FANOUT, fanout_targets
 from repro.addr.prefix import IPv6Prefix
+from repro.core.engines import canonical_engine
 from repro.addr.trie import PrefixTrie
 from repro.netmodel.internet import SimulatedInternet
 from repro.netmodel.services import Protocol
@@ -207,8 +208,7 @@ class AliasedPrefixDetector:
         seed: int = 0,
         engine: str = "batch",
     ):
-        if engine not in ("batch", "scalar"):
-            raise ValueError(f"unknown APD engine: {engine!r}")
+        engine = canonical_engine(engine, "batch", "scalar")
         if config.fanout != FANOUT:
             raise ValueError("the paper's APD uses a fixed fan-out of 16 probes")
         self.internet = internet

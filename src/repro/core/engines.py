@@ -1,0 +1,34 @@
+"""Engine-name normalisation for the vectorized/reference implementation pairs.
+
+Several layers ship a fast columnar implementation next to the original
+scalar one (`AliasedPrefixDetector`, `EntropyClustering`, `kmeans`,
+`SlidingWindowMerger`).  Historically each grew its own vocabulary
+("batch"/"scalar", "batch"/"reference", "vectorized"/"scalar"); every
+``engine=`` parameter now accepts any synonym from either family and
+normalises it to the layer's canonical name, so a user who learned
+``engine="scalar"`` on APD can pass it anywhere.
+"""
+
+from __future__ import annotations
+
+#: Names selecting the fast columnar implementation.
+FAST_ENGINE_NAMES = frozenset({"batch", "vectorized"})
+
+#: Names selecting the original scalar implementation kept for parity.
+REFERENCE_ENGINE_NAMES = frozenset({"reference", "scalar"})
+
+
+def canonical_engine(name: str, fast: str, reference: str) -> str:
+    """Normalise an engine name to the caller's canonical pair.
+
+    ``fast`` and ``reference`` are the canonical names the calling layer
+    uses; any synonym from the matching family is accepted.
+    """
+    if name in FAST_ENGINE_NAMES:
+        return fast
+    if name in REFERENCE_ENGINE_NAMES:
+        return reference
+    raise ValueError(
+        f"unknown engine: {name!r} (expected one of "
+        f"{sorted(FAST_ENGINE_NAMES | REFERENCE_ENGINE_NAMES)})"
+    )

@@ -92,20 +92,79 @@ def nybble_entropies(
     n = len(batch)
     if n == 0:
         raise ValueError("at least one address is required")
-    matrix = batch.nybbles_matrix(first_nybble, last_nybble).astype(np.int64)
-    span = last_nybble - first_nybble + 1
+    return nybble_entropies_of_matrix(batch.nybbles_matrix(first_nybble, last_nybble))
+
+
+def nybble_entropies_of_matrix(matrix: np.ndarray) -> list[float]:
+    """Per-column normalised entropies of an ``(n, span)`` nybble-value matrix.
+
+    The computational core of :func:`nybble_entropies`, exposed for callers
+    that already hold the extracted matrix (e.g. Entropy/IP model fitting,
+    which reuses one extraction for entropies, value mining and transitions).
+    """
+    n, span = matrix.shape
+    if n == 0:
+        raise ValueError("at least one address is required")
+    matrix = matrix.astype(np.int64)
     # One histogram per nybble position, computed in a single bincount by
     # offsetting each column into its own bucket range of 16 values.
     offsets = np.arange(span, dtype=np.int64) * 16
     counts = np.bincount((matrix + offsets).ravel(), minlength=16 * span)
     counts = counts.reshape(span, 16).astype(float)
+    entropies = _entropies_from_counts(counts, n)
+    return [float(h) for h in entropies]
+
+
+def _entropies_from_counts(counts: np.ndarray, n: "int | np.ndarray") -> np.ndarray:
+    """Normalised Shannon entropies from nybble-value histograms.
+
+    ``counts`` holds 16-bucket histograms along its last axis; ``n`` is the
+    sample size (scalar, or broadcastable per histogram row).  Shared by the
+    single-network and the grouped fingerprint paths so both produce
+    bit-identical floats.
+    """
     probabilities = counts / n
     with np.errstate(divide="ignore", invalid="ignore"):
         terms = np.where(
             probabilities > 0, probabilities * np.log2(probabilities), 0.0
         )
-    entropies = -terms.sum(axis=1) / 4.0
-    return [float(h) for h in entropies]
+    return -terms.sum(axis=-1) / 4.0
+
+
+def grouped_nybble_entropies(
+    batch: AddressBatch,
+    group_ids: np.ndarray,
+    num_groups: int,
+    first_nybble: int,
+    last_nybble: int,
+) -> np.ndarray:
+    """Per-group nybble entropies for a whole batch in one ``bincount``.
+
+    ``group_ids`` assigns every address of *batch* to a group ``0..num_groups-1``
+    (groups need not be contiguous in the batch).  Returns a
+    ``(num_groups, span)`` float matrix whose row *g* equals
+    ``nybble_entropies`` of group *g*'s addresses — this is the vectorised
+    heart of :meth:`EntropyClustering.fingerprints_by_prefix`: instead of one
+    histogram pass per network, every per-network per-position histogram lands
+    in its own bucket range of a single flat ``bincount``.
+    """
+    if not 1 <= first_nybble <= last_nybble <= NYBBLES:
+        raise ValueError(f"invalid nybble span {first_nybble}..{last_nybble}")
+    span = last_nybble - first_nybble + 1
+    if num_groups == 0:
+        return np.zeros((0, span), dtype=float)
+    matrix = batch.nybbles_matrix(first_nybble, last_nybble).astype(np.int64)
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    if group_ids.shape[0] != len(batch):
+        raise ValueError("group_ids must assign every address of the batch")
+    # Flat bucket index: ((group, position), value) -> one bincount slot.
+    offsets = np.arange(span, dtype=np.int64) * 16
+    flat = (group_ids[:, None] * (span * 16) + offsets[None, :]) + matrix
+    counts = np.bincount(flat.ravel(), minlength=num_groups * span * 16)
+    counts = counts.reshape(num_groups, span, 16).astype(float)
+    sizes = np.bincount(group_ids, minlength=num_groups).astype(float)
+    sizes = np.maximum(sizes, 1.0)  # empty groups yield all-zero entropies
+    return _entropies_from_counts(counts, sizes[:, None, None])
 
 
 def entropy_fingerprint(

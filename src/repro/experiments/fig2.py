@@ -68,14 +68,18 @@ def run(
     min_addresses: int = 100,
     prefix_length: int = 32,
 ) -> Fig2Result:
-    """Cluster the hitlist's /32 prefixes with both fingerprint spans."""
-    addresses = ctx.hitlist.addresses
+    """Cluster the hitlist's /32 prefixes with both fingerprint spans.
+
+    Runs on the hitlist's cached columnar :class:`~repro.addr.batch.AddressBatch`:
+    grouping + fingerprinting is one sorted ``bincount`` pass per span.
+    """
+    batch = ctx.hitlist.address_batch
     full = EntropyClustering(
         span=FULL_SPAN, min_addresses=min_addresses, seed=ctx.config.seed
-    ).cluster_prefixes(addresses, prefix_length)
+    ).cluster_prefixes(batch, prefix_length)
     iid = EntropyClustering(
         span=IID_SPAN, min_addresses=min_addresses, seed=ctx.config.seed
-    ).cluster_prefixes(addresses, prefix_length)
+    ).cluster_prefixes(batch, prefix_length)
     return Fig2Result(full_span=full, iid_span=iid)
 
 

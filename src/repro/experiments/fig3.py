@@ -65,13 +65,17 @@ def run(
         fingerprints_dns = clusterer.fingerprints_by_prefix(dns_responders, 32)
     dns_clustering = clusterer.cluster(fingerprints_dns)
 
-    # Group all hitlist addresses by covering BGP prefix and cluster those groups.
+    # Group all hitlist addresses by covering BGP prefix and cluster those
+    # groups.  The prefix mapping is one flattened-LPM batch lookup instead of
+    # a trie walk per address.
     groups: dict[str, list] = {}
     prefix_by_name: dict[str, object] = {}
-    for address in ctx.hitlist.addresses:
-        prefix = ctx.internet.bgp.covering_prefix(address)
-        if prefix is None:
+    flat = ctx.internet.bgp_lpm()
+    indices = flat.lookup_indices(ctx.hitlist.address_batch)
+    for address, index in zip(ctx.hitlist.addresses, indices.tolist()):
+        if index < 0:
             continue
+        prefix = flat.objects[index].prefix
         name = str(prefix)
         groups.setdefault(name, []).append(address)
         prefix_by_name[name] = prefix

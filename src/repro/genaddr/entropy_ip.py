@@ -26,8 +26,55 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
-from repro.addr.address import IPv6Address, NYBBLES, nybbles_of
-from repro.core.entropy import nybble_entropies
+import numpy as np
+
+from repro.addr.address import IPv6Address, NYBBLES
+from repro.addr.batch import AddressBatch
+from repro.core.entropy import nybble_entropies_of_matrix
+
+_HEX_DIGITS = np.array(list("0123456789abcdef"))
+
+
+def _rows_as_hex(matrix: np.ndarray) -> list[str]:
+    """Each row of a nybble-value matrix as one lowercase hex string."""
+    if matrix.shape[0] == 0:
+        return []
+    chars = _HEX_DIGITS[matrix]
+    return chars.view(f"<U{matrix.shape[1]}").ravel().tolist()
+
+
+def _chunk_widths(width: int) -> list[int]:
+    """Widths of the 16-nybble chunks a segment of *width* splits into."""
+    return [min(16, width - offset) for offset in range(0, width, 16)]
+
+
+def _pack_segment(matrix: np.ndarray, start: int, end: int) -> np.ndarray:
+    """Pack nybble columns ``start..end`` (1-based, inclusive) into uint64s.
+
+    Returns an ``(n, chunks)`` array: the segment is split into 16-nybble
+    chunks from the left so each chunk fits a uint64 regardless of segment
+    width.  Rows compare lexicographically (most significant chunk first)
+    exactly like the fixed-width hex strings they stand for.
+    """
+    width = end - start + 1
+    chunks = []
+    offset = start - 1
+    for chunk_width in _chunk_widths(width):
+        columns = matrix[:, offset : offset + chunk_width].astype(np.uint64)
+        powers = np.uint64(16) ** np.arange(
+            chunk_width - 1, -1, -1, dtype=np.uint64
+        )
+        chunks.append((columns * powers).sum(axis=1))
+        offset += chunk_width
+    return np.stack(chunks, axis=1)
+
+
+def _hex_of_packed(row: np.ndarray, width: int) -> str:
+    """The fixed-width lowercase hex string a packed chunk row stands for."""
+    return "".join(
+        f"{int(value):0{chunk_width}x}"
+        for value, chunk_width in zip(row, _chunk_widths(width))
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,18 +143,25 @@ class EntropyIPModel:
 
     def __init__(
         self,
-        seeds: Sequence["IPv6Address | int | str"],
+        seeds: "AddressBatch | Sequence[IPv6Address | int | str]",
         first_nybble: int = 1,
         entropy_threshold: float = 0.1,
         max_segment_width: int = 8,
         max_values_per_segment: int = 64,
     ):
-        if not seeds:
+        if len(seeds) == 0:
             raise ValueError("Entropy/IP needs at least one seed address")
         self.first_nybble = first_nybble
-        self._seed_nybbles = [nybbles_of(s) for s in seeds]
-        self._seed_set = {n for n in self._seed_nybbles}
-        entropies = nybble_entropies(seeds, first_nybble, NYBBLES)
+        batch = (
+            seeds
+            if isinstance(seeds, AddressBatch)
+            else AddressBatch.from_addresses(seeds)
+        )
+        # One bulk nybble extraction feeds the entropy profile, the segment
+        # value mining and the transition fitting below.
+        self._seed_matrix = batch.nybbles_matrix(1, NYBBLES)
+        self._seed_set = set(_rows_as_hex(self._seed_matrix))
+        entropies = nybble_entropies_of_matrix(self._seed_matrix[:, first_nybble - 1 :])
         raw_segments = segment_positions(entropies, entropy_threshold, max_segment_width)
         self.segments: list[Segment] = [
             Segment(
@@ -118,39 +172,60 @@ class EntropyIPModel:
             for start, end in raw_segments
         ]
         self.max_values_per_segment = max_values_per_segment
+        # Pack every segment's nybble columns once; value mining and
+        # transition fitting both consume the packed columns.
+        self._packed_segments = [
+            _pack_segment(self._seed_matrix, segment.start, segment.end)
+            for segment in self.segments
+        ]
         self.segment_models: list[SegmentModel] = [
-            self._fit_segment(segment) for segment in self.segments
+            self._fit_segment(index) for index in range(len(self.segments))
         ]
         self.transitions: list[dict[str, dict[str, float]]] = self._fit_transitions()
 
     # -- fitting ------------------------------------------------------------------
 
-    def _fit_segment(self, segment: Segment) -> SegmentModel:
-        counts: dict[str, int] = {}
-        for nybbles in self._seed_nybbles:
-            value = segment.slice_of(nybbles)
-            counts[value] = counts.get(value, 0) + 1
-        total = sum(counts.values())
-        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
-        kept = ordered[: self.max_values_per_segment]
-        kept_total = sum(c for _, c in kept) or 1
-        probabilities = {value: count / kept_total for value, count in kept}
+    def _fit_segment(self, index: int) -> SegmentModel:
+        """Value mining over the packed segment columns (one ``np.unique``)."""
+        segment = self.segments[index]
+        values, value_counts = np.unique(
+            self._packed_segments[index], axis=0, return_counts=True
+        )
+        # (-count, packed chunks most significant first) sorts exactly like
+        # (-count, hex string) for fixed-width lowercase hex.
+        keys = [values[:, c] for c in range(values.shape[1] - 1, -1, -1)]
+        order = np.lexsort(tuple(keys) + (-value_counts,))
+        kept = order[: self.max_values_per_segment]
+        kept_total = int(value_counts[kept].sum()) or 1
+        probabilities = {
+            _hex_of_packed(values[i], segment.width): int(value_counts[i]) / kept_total
+            for i in kept
+        }
         return SegmentModel(segment=segment, probabilities=probabilities)
 
     def _fit_transitions(self) -> list[dict[str, dict[str, float]]]:
-        """Conditional P(next segment value | this segment value) per boundary."""
+        """Conditional P(next segment value | this segment value) per boundary.
+
+        Pair statistics come from one two-column ``np.unique`` over the packed
+        (left, right) segment values instead of a per-seed string-slicing loop.
+        """
         transitions: list[dict[str, dict[str, float]]] = []
-        for left, right in zip(self.segments, self.segments[1:]):
+        for boundary, (left, right) in enumerate(zip(self.segments, self.segments[1:])):
+            lv = self._packed_segments[boundary]
+            rv = self._packed_segments[boundary + 1]
+            pairs, pair_counts = np.unique(
+                np.hstack((lv, rv)), axis=0, return_counts=True
+            )
+            left_chunks = lv.shape[1]
             counts: dict[str, dict[str, int]] = {}
-            for nybbles in self._seed_nybbles:
-                lv = left.slice_of(nybbles)
-                rv = right.slice_of(nybbles)
-                counts.setdefault(lv, {}).setdefault(rv, 0)
-                counts[lv][rv] += 1
+            for row, count in zip(pairs, pair_counts.tolist()):
+                left_key = _hex_of_packed(row[:left_chunks], left.width)
+                right_key = _hex_of_packed(row[left_chunks:], right.width)
+                counts.setdefault(left_key, {})[right_key] = count
             table: dict[str, dict[str, float]] = {}
-            for lv, right_counts in counts.items():
+            for left_key, right_counts in counts.items():
                 total = sum(right_counts.values())
-                table[lv] = {rv: c / total for rv, c in right_counts.items()}
+                table[left_key] = {rk: c / total for rk, c in right_counts.items()}
             transitions.append(table)
         return transitions
 
@@ -181,7 +256,7 @@ class EntropyIPModel:
 
     @property
     def seed_count(self) -> int:
-        return len(self._seed_nybbles)
+        return int(self._seed_matrix.shape[0])
 
 
 class EntropyIPGenerator:

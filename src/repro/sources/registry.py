@@ -11,7 +11,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.addr.address import IPv6Address
+from repro.addr.batch import AddressBatch
 from repro.netmodel.internet import SimulatedInternet
 from repro.sources.axfr import AXFRSource
 from repro.sources.base import HitlistSource
@@ -72,6 +75,26 @@ class SourceAssembly:
         """Per-source snapshot addresses."""
         return {s.name: list(s.snapshot(day)) for s in self.sources}
 
+    def _bgp_coverage(self, addresses: Sequence[IPv6Address]) -> tuple[dict[int, int], set]:
+        """Addresses per origin AS and the set of covering announced prefixes.
+
+        One flattened-LPM batch lookup (shared with ``probe_batch``) for the
+        whole address list instead of a per-address trie walk.
+        """
+        asns: dict[int, int] = {}
+        prefixes: set = set()
+        if not addresses:
+            return asns, prefixes
+        flat = self.internet.bgp_lpm()
+        indices = flat.lookup_indices(AddressBatch.from_addresses(addresses))
+        covered = indices[indices >= 0]
+        unique, counts = np.unique(covered, return_counts=True)
+        for index, count in zip(unique.tolist(), counts.tolist()):
+            announcement = flat.objects[index]
+            asns[announcement.origin_asn] = asns.get(announcement.origin_asn, 0) + count
+            prefixes.add(announcement.prefix)
+        return asns, prefixes
+
     def source_stats(self, day: int | None = None, top_n: int = 3) -> list[SourceStats]:
         """Compute the Table 2 rows: total/new IPs, AS and prefix coverage."""
         stats: list[SourceStats] = []
@@ -81,14 +104,7 @@ class SourceAssembly:
             addresses = list(snapshot)
             new = [a for a in addresses if a.value not in seen]
             seen.update(a.value for a in addresses)
-            asns: dict[int, int] = {}
-            prefixes: set = set()
-            for addr in addresses:
-                ann = self.internet.bgp.lookup(addr)
-                if ann is None:
-                    continue
-                asns[ann.origin_asn] = asns.get(ann.origin_asn, 0) + 1
-                prefixes.add(ann.prefix)
+            asns, prefixes = self._bgp_coverage(addresses)
             top = sorted(asns.items(), key=lambda kv: kv[1], reverse=True)[:top_n]
             total_with_asn = sum(asns.values()) or 1
             top_shares = [
@@ -116,14 +132,7 @@ class SourceAssembly:
     def total_stats(self, day: int | None = None) -> SourceStats:
         """The Table 2 "Total" row."""
         merged = self.snapshot(day)
-        asns: dict[int, int] = {}
-        prefixes: set = set()
-        for addr in merged:
-            ann = self.internet.bgp.lookup(addr)
-            if ann is None:
-                continue
-            asns[ann.origin_asn] = asns.get(ann.origin_asn, 0) + 1
-            prefixes.add(ann.prefix)
+        asns, prefixes = self._bgp_coverage(merged)
         top = sorted(asns.items(), key=lambda kv: kv[1], reverse=True)[:3]
         total_with_asn = sum(asns.values()) or 1
         return SourceStats(

@@ -118,6 +118,26 @@ class TestAddressBatchParity:
         assert empty.to_ints() == []
         assert empty.unique().to_ints() == []
 
+    @pytest.mark.parametrize("length", [16, 32, 48, 64, 96])
+    def test_prefix_groups_matches_group_by_prefix(self, batch, scalars, length):
+        from repro.addr.prefix import group_by_prefix
+
+        order, starts, networks = batch.prefix_groups(length)
+        counts = np.diff(np.append(starts, len(batch)))
+        expected = group_by_prefix(scalars, length)
+        # One group per distinct prefix, networks ascending.
+        assert networks.to_ints() == sorted(p.network for p in expected)
+        by_network = {p.network: members for p, members in expected.items()}
+        sorted_batch = batch.take(order)
+        for g, network in enumerate(networks.to_ints()):
+            start, count = int(starts[g]), int(counts[g])
+            members = sorted_batch.to_ints()[start : start + count]
+            assert sorted(members) == sorted(a.value for a in by_network[network])
+
+    def test_prefix_groups_empty(self):
+        order, starts, networks = AddressBatch.empty().prefix_groups(32)
+        assert order.size == 0 and starts.size == 0 and len(networks) == 0
+
 
 class TestSearch128:
     def test_searchsorted_matches_python_bisect(self):

@@ -207,3 +207,75 @@ class TestSlidingWindow:
         assert stats.window == 3
         assert 0 <= stats.unstable_prefixes <= stats.total_prefixes
         assert 0 <= stats.aliased_final <= stats.total_prefixes
+
+    def test_vectorized_matches_scalar_engine(self, daily_results):
+        """The bitmask-matrix sweep and the per-prefix dict walks agree."""
+        vectorized = SlidingWindowMerger(daily_results)
+        scalar = SlidingWindowMerger(daily_results, engine="scalar")
+        assert vectorized.sweep_windows(range(6)) == scalar.sweep_windows(range(6))
+        for window in range(6):
+            assert vectorized.final_aliased_prefixes(window) == scalar.final_aliased_prefixes(window)
+
+    def test_unknown_engine_rejected(self, daily_results):
+        with pytest.raises(ValueError):
+            SlidingWindowMerger(daily_results, engine="quantum")
+
+    def test_large_fanout_within_mask_capacity(self):
+        """Branch indices up to 63 fit the vectorized uint64 bitmask; beyond
+        that the engine refuses loudly instead of overflowing."""
+        from repro.core.apd import PrefixProbeOutcome
+        from repro.netmodel.services import Protocol
+
+        prefix = IPv6Prefix.parse("2001:db8::/64")
+        wide = APDResult(day=0)
+        outcome = PrefixProbeOutcome(
+            prefix=prefix, day=0, targets=[prefix.first + i for i in range(40)]
+        )
+        outcome.branch_responses = [{Protocol.ICMP} for _ in range(40)]
+        wide.outcomes[prefix] = outcome
+        merger = SlidingWindowMerger({0: wide})
+        stats = merger.window_stats(0)  # 40 branches > 32: needs uint64 masks
+        assert stats.aliased_final == 1
+        assert merger.window_stats(0) == SlidingWindowMerger(
+            {0: wide}, engine="scalar"
+        ).window_stats(0)
+
+        overflow = APDResult(day=0)
+        big = PrefixProbeOutcome(
+            prefix=prefix, day=0, targets=[prefix.first + i for i in range(70)]
+        )
+        big.branch_responses = [{Protocol.ICMP} for _ in range(70)]
+        overflow.outcomes[prefix] = big
+        with pytest.raises(ValueError, match="engine='scalar'"):
+            SlidingWindowMerger({0: overflow}).window_stats(0)
+        scalar = SlidingWindowMerger({0: overflow}, engine="scalar")
+        assert scalar.window_stats(0).aliased_final == 1
+
+    def test_expected_fanout_from_window_not_hardcoded(self):
+        """A <16-target prefix unprobed on the queried day must be judged
+        against its own fan-out from the window, not a hardcoded 16."""
+        from repro.addr import IPv6Address
+        from repro.core.apd import PrefixProbeOutcome
+        from repro.netmodel.services import Protocol
+
+        narrow = IPv6Prefix.parse("2001:db8:ffff::/125")  # 3 host bits -> 8 targets
+        other = IPv6Prefix.parse("2001:db8::/64")
+        day0, day1 = APDResult(day=0), APDResult(day=1)
+        outcome = PrefixProbeOutcome(
+            prefix=narrow, day=0, targets=[narrow.first + i for i in range(8)]
+        )
+        outcome.branch_responses = [{Protocol.ICMP} for _ in range(8)]
+        day0.outcomes[narrow] = outcome
+        filler = PrefixProbeOutcome(
+            prefix=other, day=1, targets=[IPv6Address.parse("2001:db8::1")] * 16
+        )
+        filler.branch_responses = [set() for _ in range(16)]
+        day1.outcomes[other] = filler
+        for engine in ("vectorized", "scalar"):
+            merger = SlidingWindowMerger({0: day0, 1: day1}, engine=engine)
+            # All 8 of 8 branches answered within the window -> aliased.
+            assert merger.windowed_is_aliased(narrow, 1, 1)
+            # Window 0 has no outcome at all: falls back to the APD fan-out
+            # constant and stays non-aliased.
+            assert not merger.windowed_is_aliased(narrow, 1, 0)
+            assert narrow in merger.final_aliased_prefixes(window=1)

@@ -68,6 +68,22 @@ class TestEntropyIPModel:
         assert not model.is_seed(IPv6Address.parse("2a00::1").nybbles)
         assert model.seed_count == 50
 
+    def test_wide_segments_keep_distinct_values(self):
+        """Segments wider than 16 nybbles must not collapse distinct values
+        (the packed representation exceeds 64 bits and is chunked)."""
+        import random
+
+        rng = random.Random(5)
+        seeds = [IPv6Address(rng.getrandbits(128)) for _ in range(40)]
+        model = EntropyIPModel(seeds, max_segment_width=32)
+        assert any(s.width > 16 for s in model.segments)
+        seed_nybbles = {a.nybbles for a in seeds}
+        for segment, segment_model in zip(model.segments, model.segment_models):
+            values = set(segment_model.probabilities)
+            expected = {n[segment.start - 1 : segment.end] for n in seed_nybbles}
+            assert values == expected
+            assert all(len(v) == segment.width for v in values)
+
 
 class TestEntropyIPGenerator:
     def test_generates_requested_budget(self):
