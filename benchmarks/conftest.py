@@ -5,7 +5,17 @@ default experiment scale, so the expensive pipeline steps (Internet build,
 source assembly, APD, day-0 sweep) run once per session.  Each benchmark then
 measures its experiment's analysis step with a single pedantic round -- the
 point is regenerating the paper's numbers, not micro-timing.
+
+Speedup benchmarks additionally publish machine-readable results: one
+``BENCH_<name>.json`` per benchmark (via :func:`write_bench_json`), written
+to ``$REPRO_BENCH_DIR`` (default: the working directory).  CI uploads these
+as artifacts so the performance trajectory accumulates run over run.
 """
+
+import json
+import os
+import platform
+from pathlib import Path
 
 import pytest
 
@@ -42,3 +52,23 @@ def ctx(request) -> ExperimentContext:
 def run_once(benchmark, func):
     """Run *func* exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(func, iterations=1, rounds=1)
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one benchmark's machine-readable result as ``BENCH_<name>.json``.
+
+    ``payload`` should carry at least the measured throughput
+    (``addresses_per_sec`` or similar) and ``speedup``; environment metadata
+    is added so accumulated artifacts remain comparable across runs.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    record = {
+        "benchmark": name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

@@ -13,7 +13,7 @@ probing engine's throughput acceptance:
 import random
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, write_bench_json
 from repro.addr import IPv6Prefix
 from repro.addr.generate import fanout_targets, random_addresses_in_prefix
 from repro.core.apd import AliasedPrefixDetector, APDConfig
@@ -124,6 +124,20 @@ def test_bench_apd_batch_speedup(benchmark, ctx):
     print(
         f"\nAPD over {prefixes} prefixes: scalar {scalar_elapsed * 1e3:.1f} ms, "
         f"batch {batch_elapsed * 1e3:.1f} ms -> {speedup:.1f}x"
+    )
+    # Record the measurement first: a regressed run must still leave its
+    # BENCH_*.json behind for the perf trajectory.
+    write_bench_json(
+        "apd",
+        {
+            "prefixes": prefixes,
+            "scalar_seconds": round(scalar_elapsed, 4),
+            "batch_seconds": round(batch_elapsed, 4),
+            "speedup": round(speedup, 2),
+            "addresses_per_sec": round(prefixes * 16 / batch_elapsed)
+            if batch_elapsed
+            else None,
+        },
     )
     assert prefixes >= 100
     assert speedup >= 5.0

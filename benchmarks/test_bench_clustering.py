@@ -12,7 +12,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, write_bench_json
 from repro.addr.generate import synthetic_mixed_batch
 from repro.core.clustering import EntropyClustering, kmeans
 
@@ -74,6 +74,21 @@ def test_bench_clustering_speedup(benchmark):
         f"\nfingerprint+cluster over {HITLIST_SIZE:,} addresses / {NUM_PREFIXES} prefixes: "
         f"reference {reference_elapsed * 1e3:.1f} ms, batch {batch_elapsed * 1e3:.1f} ms "
         f"-> {speedup:.1f}x"
+    )
+    # Record the measurement first: a regressed run must still leave its
+    # BENCH_*.json behind for the perf trajectory.
+    write_bench_json(
+        "clustering",
+        {
+            "addresses": HITLIST_SIZE,
+            "prefixes": NUM_PREFIXES,
+            "reference_seconds": round(reference_elapsed, 4),
+            "batch_seconds": round(batch_elapsed, 4),
+            "speedup": round(speedup, 2),
+            "addresses_per_sec": round(HITLIST_SIZE / batch_elapsed)
+            if batch_elapsed
+            else None,
+        },
     )
     # Identical fingerprints, bit for bit.
     assert len(batch_fps) == len(reference_fps) == NUM_PREFIXES

@@ -12,7 +12,7 @@ import time
 import numpy as np
 
 from benchmarks.conftest import run_once
-from repro.addr import IPv6Prefix, PrefixTrie
+from repro.addr import PrefixTrie
 from repro.addr.batch import AddressBatch, FlatLPM, random_batch_in_prefix
 from repro.addr.generate import random_address_in_prefix
 from repro.core.clustering import kmeans

@@ -64,7 +64,7 @@ def _shr64(x: np.ndarray, shift: np.ndarray) -> np.ndarray:
     return np.where(ok, x >> safe, np.uint64(0))
 
 
-def _prefix_masks(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def prefix_masks(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """(hi, lo) netmasks for an array of prefix lengths (0..128)."""
     lengths = np.asarray(lengths, dtype=np.int64)
     mask_hi = _shl64(U64_MAX, 64 - np.minimum(lengths, 64))
@@ -182,7 +182,7 @@ class AddressBatch:
 
         The batch equivalent of ``IPv6Prefix.of(addr, length).network``.
         """
-        mask_hi, mask_lo = _prefix_masks(np.int64(length))
+        mask_hi, mask_lo = prefix_masks(np.int64(length))
         return AddressBatch(self.hi & mask_hi, self.lo & mask_lo)
 
     def is_slaac_eui64(self) -> np.ndarray:
@@ -214,14 +214,33 @@ class AddressBatch:
     def sort(self) -> "AddressBatch":
         return self.take(self.argsort())
 
+    def is_sorted(self) -> bool:
+        """Is the batch in ascending 128-bit order (duplicates allowed)?"""
+        if len(self) < 2:
+            return True
+        hi, lo = self.hi, self.lo
+        ascending = (hi[1:] > hi[:-1]) | ((hi[1:] == hi[:-1]) & (lo[1:] >= lo[:-1]))
+        return bool(ascending.all())
+
+    def sorted_run_starts(self) -> np.ndarray:
+        """Start index of every run of equal addresses (batch must be sorted).
+
+        The shared boundary-scan behind dedup, provenance merging and
+        prefix grouping: one vectorised neighbour comparison instead of a
+        Python group-by.
+        """
+        if len(self) == 0:
+            return np.zeros(0, dtype=np.int64)
+        boundary = np.ones(len(self), dtype=bool)
+        boundary[1:] = (self.hi[1:] != self.hi[:-1]) | (self.lo[1:] != self.lo[:-1])
+        return np.flatnonzero(boundary).astype(np.int64)
+
     def unique(self) -> "AddressBatch":
         """Sorted batch with duplicate addresses removed."""
         if len(self) == 0:
             return AddressBatch.empty()
         s = self.sort()
-        keep = np.ones(len(s), dtype=bool)
-        keep[1:] = (s.hi[1:] != s.hi[:-1]) | (s.lo[1:] != s.lo[:-1])
-        return s.take(keep)
+        return s.take(s.sorted_run_starts())
 
     def prefix_groups(
         self, length: int
@@ -302,6 +321,45 @@ def find128(
     safe = np.minimum(pos, n - 1)
     hit = (pos < n) & (sorted_hi[safe] == query_hi) & (sorted_lo[safe] == query_lo)
     return np.where(hit, safe, np.int64(-1))
+
+
+def union_sorted(
+    base: AddressBatch, incoming: AddressBatch
+) -> tuple[AddressBatch, np.ndarray, np.ndarray, np.ndarray]:
+    """Merge a sorted-unique *incoming* batch into a sorted-unique *base*.
+
+    This is the vectorised dedup step of the incremental hitlist merge: the
+    standing batch stays sorted, so membership of the day's new records is one
+    :func:`find128` binary search and the insertion points one
+    :func:`searchsorted128` pass -- no Python-dict round-trips.
+
+    Returns ``(merged, base_pos, incoming_pos, is_new)`` where ``merged`` is
+    the sorted union, ``base_pos[i]`` is the position of ``base[i]`` in
+    ``merged``, ``incoming_pos[j]`` the position of ``incoming[j]`` in
+    ``merged``, and ``is_new[j]`` flags incoming rows absent from ``base``.
+    """
+    n, m = len(base), len(incoming)
+    if m == 0:
+        return base, np.arange(n, dtype=np.int64), np.zeros(0, np.int64), np.zeros(0, bool)
+    match = find128(base.hi, base.lo, incoming.hi, incoming.lo)
+    is_new = match < 0
+    fresh = incoming.take(is_new)
+    insert = searchsorted128(base.hi, base.lo, fresh.hi, fresh.lo, side="left")
+    # Each base row shifts right by the number of fresh rows inserted at or
+    # before it; fresh row j lands at its insertion point plus its own rank.
+    inserted_before = np.cumsum(np.bincount(insert, minlength=n + 1)).astype(np.int64)
+    base_pos = np.arange(n, dtype=np.int64) + inserted_before[:n]
+    fresh_pos = insert + np.arange(len(fresh), dtype=np.int64)
+    merged_hi = np.empty(n + len(fresh), dtype=np.uint64)
+    merged_lo = np.empty(n + len(fresh), dtype=np.uint64)
+    merged_hi[base_pos] = base.hi
+    merged_lo[base_pos] = base.lo
+    merged_hi[fresh_pos] = fresh.hi
+    merged_lo[fresh_pos] = fresh.lo
+    incoming_pos = np.empty(m, dtype=np.int64)
+    incoming_pos[is_new] = fresh_pos
+    incoming_pos[~is_new] = base_pos[match[~is_new]]
+    return AddressBatch(merged_hi, merged_lo), base_pos, incoming_pos, is_new
 
 
 class FlatLPM:

@@ -11,9 +11,12 @@ from dataclasses import dataclass, field
 from statistics import mean, median
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.addr.address import IPv6Address
+from repro.addr.batch import AddressBatch, find128
 from repro.netmodel.services import Protocol
-from repro.probing.scheduler import DailyScanResult
+from repro.probing.scheduler import BatchDailyScanResult, DailyScanResult
 
 
 @dataclass(slots=True)
@@ -37,8 +40,8 @@ class ResponsivenessTimeline:
 
 
 def responsiveness_over_time(
-    campaign: Sequence[DailyScanResult],
-    groups: Mapping[str, Sequence[IPv6Address]],
+    campaign: "Sequence[DailyScanResult | BatchDailyScanResult]",
+    groups: "Mapping[str, Sequence[IPv6Address] | AddressBatch]",
     protocol: Protocol | None = None,
 ) -> list[ResponsivenessTimeline]:
     """Figure 8: per-group retention of day-0 responders over the campaign.
@@ -46,9 +49,17 @@ def responsiveness_over_time(
     ``groups`` maps a label (source name, optionally suffixed by protocol) to
     the addresses attributed to it.  The baseline for each group is the subset
     of its addresses responsive on the campaign's first day.
+
+    A campaign of :class:`BatchDailyScanResult` days (e.g.
+    ``HitlistService.campaign()`` on the batch engine) is evaluated entirely
+    on the responsiveness matrices -- baseline membership and per-day
+    retention are binary searches over the sorted target batches, with no
+    address-set materialisation.
     """
     if not campaign:
         raise ValueError("campaign must contain at least one daily result")
+    if all(isinstance(result, BatchDailyScanResult) for result in campaign):
+        return _batch_responsiveness_over_time(campaign, groups, protocol)
     timelines: list[ResponsivenessTimeline] = []
     days = [result.day for result in campaign]
 
@@ -65,6 +76,52 @@ def responsiveness_over_time(
                 timeline.retention.append(len(baseline & responsive) / len(baseline))
             else:
                 timeline.retention.append(0.0)
+        timelines.append(timeline)
+    return timelines
+
+
+def _batch_responsiveness_over_time(
+    campaign: "Sequence[BatchDailyScanResult]",
+    groups: "Mapping[str, Sequence[IPv6Address] | AddressBatch]",
+    protocol: Protocol | None = None,
+) -> list[ResponsivenessTimeline]:
+    """Vectorised Figure 8 over (target x protocol) matrices.
+
+    Each day's target batch must be sorted ascending (the batch service
+    guarantees this: targets are a mask-take of the sorted standing batch).
+    """
+    for result in campaign:
+        if not result.targets_batch.is_sorted():
+            raise ValueError(
+                f"day {result.day} targets are not sorted; the batch retention "
+                "path binary-searches them (the batch service emits sorted "
+                "targets -- sort custom campaigns before querying)"
+            )
+    days = [result.day for result in campaign]
+    first = campaign[0]
+    first_targets = first.targets_batch
+    first_mask = first.responsive_mask(protocol)
+    timelines: list[ResponsivenessTimeline] = []
+    for label, addresses in groups.items():
+        batch = (
+            addresses
+            if isinstance(addresses, AddressBatch)
+            else AddressBatch.from_addresses(addresses)
+        ).unique()
+        pos = find128(first_targets.hi, first_targets.lo, batch.hi, batch.lo)
+        in_baseline = (pos >= 0) & first_mask[np.maximum(pos, 0)]
+        baseline = batch.take(in_baseline)
+        timeline = ResponsivenessTimeline(
+            group=label, days=days, baseline_size=len(baseline)
+        )
+        for result in campaign:
+            if not len(baseline):
+                timeline.retention.append(0.0)
+                continue
+            targets = result.targets_batch
+            pos = find128(targets.hi, targets.lo, baseline.hi, baseline.lo)
+            responsive = (pos >= 0) & result.responsive_mask(protocol)[np.maximum(pos, 0)]
+            timeline.retention.append(float(responsive.sum()) / len(baseline))
         timelines.append(timeline)
     return timelines
 

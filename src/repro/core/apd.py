@@ -48,34 +48,130 @@ class APDConfig:
     aliased_threshold: int = FANOUT
 
 
-@dataclass(slots=True)
 class PrefixProbeOutcome:
-    """Probe outcome for one candidate prefix on one day."""
+    """Probe outcome for one candidate prefix on one day.
 
-    prefix: IPv6Prefix
-    day: int
-    targets: list[IPv6Address]
-    #: Per-branch (0..15) set of protocols that answered.
-    branch_responses: list[set[Protocol]] = field(default_factory=list)
+    Two storage forms share one read API: the scalar engine fills
+    ``branch_responses`` (one set of answering protocols per fan-out branch)
+    probe by probe, while the batch engine stores a slice of the
+    ``probe_batch`` responsiveness matrix and materialises targets/sets only
+    when a consumer asks for them -- on the hot path (`is_aliased`,
+    `responsive_branches`) everything stays an array reduction.
+    """
+
+    __slots__ = (
+        "prefix",
+        "day",
+        "_targets",
+        "_targets_batch",
+        "_matrix",
+        "_protocols",
+        "_branch_responses",
+        "_aliased",
+    )
+
+    def __init__(
+        self,
+        prefix: IPv6Prefix,
+        day: int,
+        targets: list[IPv6Address] | None = None,
+        branch_responses: list[set[Protocol]] | None = None,
+    ):
+        self.prefix = prefix
+        self.day = day
+        self._targets = [] if targets is None else targets
+        self._targets_batch: AddressBatch | None = None
+        self._matrix: np.ndarray | None = None
+        self._protocols: tuple[Protocol, ...] = ()
+        self._branch_responses = [] if branch_responses is None else branch_responses
+        self._aliased: bool | None = None
+
+    @classmethod
+    def from_matrix(
+        cls,
+        prefix: IPv6Prefix,
+        day: int,
+        targets: AddressBatch,
+        matrix: np.ndarray,
+        protocols: tuple[Protocol, ...],
+    ) -> "PrefixProbeOutcome":
+        """Batch-engine constructor: a (branch x protocol) boolean matrix."""
+        outcome = cls(prefix=prefix, day=day)
+        outcome._targets = None
+        outcome._targets_batch = targets
+        outcome._matrix = matrix
+        outcome._protocols = protocols
+        outcome._branch_responses = None
+        return outcome
+
+    @property
+    def targets(self) -> list[IPv6Address]:
+        """The fan-out target addresses (materialised lazily on the batch path)."""
+        if self._targets is None:
+            self._targets = self._targets_batch.to_addresses()
+        return self._targets
+
+    @targets.setter
+    def targets(self, value: list[IPv6Address]) -> None:
+        self._targets = value
+        self._targets_batch = None
+        self._aliased = None
+
+    @property
+    def num_targets(self) -> int:
+        """Fan-out size without materialising scalar addresses."""
+        if self._targets is not None:
+            return len(self._targets)
+        return len(self._targets_batch)
+
+    @property
+    def branch_responses(self) -> list[set[Protocol]]:
+        """Per-branch (0..15) set of protocols that answered."""
+        if self._branch_responses is None:
+            self._branch_responses = [
+                {self._protocols[j] for j in row.nonzero()[0].tolist()}
+                for row in self._matrix
+            ]
+        return self._branch_responses
+
+    @branch_responses.setter
+    def branch_responses(self, value: list[set[Protocol]]) -> None:
+        self._branch_responses = value
+        self._matrix = None
+        self._aliased = None
 
     @property
     def responsive_branches(self) -> set[int]:
         """Branch indices whose target answered on at least one protocol."""
-        return {i for i, protocols in enumerate(self.branch_responses) if protocols}
+        if self._branch_responses is None:
+            return set(np.flatnonzero(self._matrix.any(axis=1)).tolist())
+        return {i for i, protocols in enumerate(self._branch_responses) if protocols}
 
     @property
     def num_responsive(self) -> int:
+        if self._branch_responses is None:
+            return int(self._matrix.any(axis=1).sum())
         return len(self.responsive_branches)
 
     @property
     def is_aliased(self) -> bool:
         """All fan-out branches responded -> the prefix is labelled aliased."""
-        return self.num_responsive >= len(self.targets) and bool(self.targets)
+        if self._aliased is None:
+            self._aliased = (
+                self.num_responsive >= self.num_targets and self.num_targets > 0
+            )
+        return self._aliased
 
     @property
     def probes_sent(self) -> int:
         """Number of probe packets sent for this prefix (16 per protocol)."""
-        return len(self.targets) * 2  # ICMPv6 + TCP/80
+        return self.num_targets * 2  # ICMPv6 + TCP/80
+
+    def __repr__(self) -> str:
+        return (
+            f"PrefixProbeOutcome({self.prefix}, day={self.day}, "
+            f"responsive={self.num_responsive}/{self.num_targets})"
+        )
 
 
 @dataclass(slots=True)
@@ -109,7 +205,7 @@ class APDResult:
     @property
     def addresses_probed(self) -> int:
         """Total distinct target addresses probed."""
-        return sum(len(o.targets) for o in self.outcomes.values())
+        return sum(o.num_targets for o in self.outcomes.values())
 
     def _ensure_trie(self) -> PrefixTrie:
         if self._trie is None:
@@ -298,23 +394,18 @@ class AliasedPrefixDetector:
         result = self.internet.probe_batch(
             targets, self.config.protocols, day, rng=self._nprng
         )
-        addresses = targets.to_addresses()
         counts = np.bincount(prefix_index, minlength=len(prefix_list)).astype(np.int64)
         starts = np.cumsum(counts) - counts
+        protocols = result.protocols
         outcomes: dict[IPv6Prefix, PrefixProbeOutcome] = {}
         for i, prefix in enumerate(prefix_list):
-            start, count = int(starts[i]), int(counts[i])
-            outcome = PrefixProbeOutcome(
-                prefix=prefix, day=day, targets=addresses[start : start + count]
-            )
-            outcome.branch_responses = [set() for _ in range(count)]
-            outcomes[prefix] = outcome
-        protocols = result.protocols
-        rows, cols = np.nonzero(result.responsive)
-        for row, col in zip(rows.tolist(), cols.tolist()):
-            i = int(prefix_index[row])
-            outcomes[prefix_list[i]].branch_responses[row - int(starts[i])].add(
-                protocols[col]
+            start, end = int(starts[i]), int(starts[i] + counts[i])
+            outcomes[prefix] = PrefixProbeOutcome.from_matrix(
+                prefix,
+                day,
+                AddressBatch(targets.hi[start:end], targets.lo[start:end]),
+                result.responsive[start:end],
+                protocols,
             )
         return outcomes
 

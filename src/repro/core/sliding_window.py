@@ -104,7 +104,7 @@ class SlidingWindowMerger:
                 continue
             outcome = result.outcomes.get(prefix)
             if outcome is not None:
-                return len(outcome.targets)
+                return outcome.num_targets
         return FANOUT
 
     def windowed_is_aliased(self, prefix: IPv6Prefix, day: int, window: int) -> bool:
@@ -154,7 +154,7 @@ class SlidingWindowMerger:
                             )
                         mask |= 1 << branch
                     masks[i, j] = mask
-                    expected[i, j] = len(outcome.targets)
+                    expected[i, j] = outcome.num_targets
                     present[i, j] = True
             self._matrices = (masks, expected, present)
         return self._matrices

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.analysis.comparison import OverlapStats, overlap_stats
-from repro.core.bias import as_distribution, concentration_index, group_counts, prefix_distribution
+from repro.core.bias import as_distribution, group_counts, prefix_distribution
 from repro.experiments.context import ExperimentContext
 from repro.netmodel.services import ALL_PROTOCOLS, Protocol
 from repro.probing.zmap import ZMapScanner

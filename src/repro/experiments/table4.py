@@ -50,6 +50,21 @@ def run(
     return Table4Result(stats=list(merger.sweep_windows(windows)))
 
 
+def run_from_service(service, windows: Sequence[int] = range(6)) -> Table4Result:
+    """Sweep the window sizes over a :class:`HitlistService`'s APD history.
+
+    Reads the per-day :class:`~repro.core.apd.APDResult` objects the daily
+    service already recorded -- no APD re-runs, and on the batch engine no
+    per-object round-trips: the sliding-window matrices are built straight
+    from the outcome matrices.  Note that the incremental engine re-probes
+    only changed prefixes, so prefixes reusing a cached verdict are stable by
+    construction and the sweep measures instability among re-probed ones.
+    """
+    daily = dict(service.apd_history())
+    merger = SlidingWindowMerger(daily)
+    return Table4Result(stats=list(merger.sweep_windows(windows)))
+
+
 def format_table(result: Table4Result) -> str:
     """Render the window sweep like the paper's Table 4."""
     windows = "  ".join(f"{s.window:>5}" for s in result.stats)

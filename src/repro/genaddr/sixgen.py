@@ -14,13 +14,12 @@ budget-aware range enumeration.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
-from repro.addr.address import IPv6Address, NYBBLES, nybbles_of
+from repro.addr.address import IPv6Address, nybbles_of
 
 
 @dataclass(slots=True)

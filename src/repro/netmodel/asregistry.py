@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.addr.asnum import ASN
 

@@ -10,7 +10,7 @@ magnitude smaller, with knobs to scale it up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +47,12 @@ class InternetConfig:
     deaggregation_rate:
         Probability that an allocation is announced as several more-specific
         /48s instead of one aggregate.
+    stochastic_anomalies:
+        Whether to register the Section 5.1 anomaly regions (SYN proxy /80,
+        ICMP rate-limited /120s) whose replies are random per probe.  Turn
+        off -- together with ``packet_loss`` and ``icmp_rate_limited_share``
+        -- to build a fully deterministic Internet for exact batch/scalar
+        parity runs.
     """
 
     seed: int = 2018
@@ -63,6 +69,7 @@ class InternetConfig:
     cpe_daily_uptime: float = 0.80
     server_daily_uptime: float = 0.995
     deaggregation_rate: float = 0.25
+    stochastic_anomalies: bool = True
 
     def scaled(self, factor: float) -> "InternetConfig":
         """A copy with host counts scaled by *factor* (same structure)."""
@@ -81,6 +88,7 @@ class InternetConfig:
             cpe_daily_uptime=self.cpe_daily_uptime,
             server_daily_uptime=self.server_daily_uptime,
             deaggregation_rate=self.deaggregation_rate,
+            stochastic_anomalies=self.stochastic_anomalies,
         )
 
 

@@ -50,7 +50,7 @@ from repro.netmodel.schemes import (
     pick_scheme,
 )
 from repro.netmodel.services import ALL_PROTOCOLS, HostRole, Protocol, profile_for
-from repro.netmodel.topology import RouterPath, Topology
+from repro.netmodel.topology import Topology
 
 #: Base of the synthetic allocation space: allocation *i* is ``2001:i::/32``-like.
 _ALLOCATION_BASE = 0x2001 << 112
@@ -507,6 +507,8 @@ class SimulatedInternet:
 
     def _register_anomalies(self) -> None:
         """Add the Section 5.1 anomaly cases: SYN proxy, rate-limited /120s."""
+        if not self.config.stochastic_anomalies:
+            return
         rng = self._rng
         cdn_plans = [p for p in self.plans if p.category is ASCategory.CLOUD_CDN]
         if not cdn_plans:

@@ -12,7 +12,7 @@
 from repro.probing.zmap import ScanResult, ZMapScanner
 from repro.probing.traceroute import TracerouteEngine
 from repro.probing.fingerprint import FingerprintProbe, FingerprintRecord
-from repro.probing.scheduler import DailyScanResult, ScanScheduler
+from repro.probing.scheduler import BatchDailyScanResult, DailyScanResult, ScanScheduler
 
 __all__ = [
     "ZMapScanner",
@@ -22,4 +22,5 @@ __all__ = [
     "FingerprintRecord",
     "ScanScheduler",
     "DailyScanResult",
+    "BatchDailyScanResult",
 ]

@@ -10,12 +10,14 @@ full curation pipeline (including APD filtering) lives in
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from repro.addr.address import IPv6Address
-from repro.netmodel.internet import SimulatedInternet
+from repro.addr.batch import AddressBatch
+from repro.netmodel.internet import BatchProbeResult, SimulatedInternet
 from repro.netmodel.services import ALL_PROTOCOLS, Protocol
 from repro.probing.zmap import ScanResult, ZMapScanner
 
@@ -41,6 +43,72 @@ class DailyScanResult:
         result = self.results.get(protocol)
         return result.responsive if result else set()
 
+    def count_responsive(self, protocol: Protocol | None = None) -> int:
+        """Responsive-address count (any protocol, or one)."""
+        if protocol is None:
+            return len(self.responsive_any)
+        return len(self.responsive_on(protocol))
+
+
+class BatchDailyScanResult:
+    """One day's five-protocol scan as a (target x protocol) boolean matrix.
+
+    The batch-engine counterpart of :class:`DailyScanResult`: responsiveness
+    lives in one :class:`BatchProbeResult` matrix, and the set-of-address
+    views every scalar consumer expects are materialised lazily (and cached)
+    only when asked for -- the publish boundary of the daily service.
+    """
+
+    def __init__(self, day: int, result: BatchProbeResult):
+        self.day = day
+        self.result = result
+        self._any_set: set[IPv6Address] | None = None
+        self._per_protocol: dict[Protocol, set[IPv6Address]] = {}
+
+    @property
+    def targets(self) -> int:
+        """Number of scan targets."""
+        return len(self.result.targets)
+
+    @property
+    def targets_batch(self) -> AddressBatch:
+        """The scan targets as a columnar batch."""
+        return self.result.targets
+
+    @property
+    def protocols(self) -> tuple[Protocol, ...]:
+        return self.result.protocols
+
+    @property
+    def responsive_matrix(self) -> np.ndarray:
+        """``matrix[i, j]``: did target *i* answer on ``protocols[j]``?"""
+        return self.result.responsive
+
+    def responsive_mask(self, protocol: Protocol | None = None) -> np.ndarray:
+        """Boolean responsiveness per target (any protocol, or one)."""
+        if protocol is None:
+            return self.result.responsive_any
+        return self.result.column(protocol)
+
+    def count_responsive(self, protocol: Protocol | None = None) -> int:
+        """Responsive-target count straight off the matrix."""
+        return int(self.responsive_mask(protocol).sum())
+
+    @property
+    def responsive_any(self) -> set[IPv6Address]:
+        """Addresses responsive on at least one protocol (lazy scalar view)."""
+        if self._any_set is None:
+            self._any_set = set(self.result.responsive_addresses())
+        return self._any_set
+
+    def responsive_on(self, protocol: Protocol) -> set[IPv6Address]:
+        """Addresses responsive on one protocol (lazy scalar view)."""
+        cached = self._per_protocol.get(protocol)
+        if cached is None:
+            cached = set(self.result.responsive_addresses(protocol))
+            self._per_protocol[protocol] = cached
+        return cached
+
 
 class ScanScheduler:
     """Run multi-day, multi-protocol scan campaigns."""
@@ -61,6 +129,17 @@ class ScanScheduler:
         scanner = ZMapScanner(self.internet, seed=self._seed ^ (day * 0x9E3779B1))
         results = scanner.sweep(target_list, self.protocols, day)
         return DailyScanResult(day=day, targets=len(target_list), results=results)
+
+    def run_day_batch(self, targets: AddressBatch, day: int) -> BatchDailyScanResult:
+        """One daily measurement as a single vectorised multi-protocol pass.
+
+        Same per-day seeding discipline as :meth:`run_day`, but the whole
+        (target x protocol) responsiveness matrix comes from one
+        ``probe_batch`` call via :meth:`ZMapScanner.sweep_batch`.
+        """
+        scanner = ZMapScanner(self.internet, seed=self._seed ^ (day * 0x9E3779B1))
+        result = scanner.sweep_batch(targets, self.protocols, day)
+        return BatchDailyScanResult(day=day, result=result)
 
     def run_campaign(
         self,

@@ -12,8 +12,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.addr.address import IPv6Address
-from repro.netmodel.internet import SimulatedInternet
+from repro.addr.batch import AddressBatch
+from repro.netmodel.internet import BatchProbeResult, SimulatedInternet
 from repro.netmodel.packets import ProbeReply
 from repro.netmodel.services import ALL_PROTOCOLS, Protocol
 
@@ -80,6 +83,33 @@ class ZMapScanner:
         """Probe all targets on every protocol (the daily measurement)."""
         target_list = list(targets)
         return {protocol: self.scan(target_list, protocol, day) for protocol in protocols}
+
+    def sweep_batch(
+        self,
+        targets: "AddressBatch | Iterable[IPv6Address]",
+        protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+        day: int = 0,
+    ) -> BatchProbeResult:
+        """Probe all targets on every protocol in one ``probe_batch`` call.
+
+        The vectorised counterpart of :meth:`sweep`: the whole daily
+        measurement -- all targets x all protocols -- is one resolver pass,
+        returning a boolean responsiveness matrix instead of per-packet
+        :class:`ProbeReply` objects.  Retries are additional full passes
+        OR-ed into the matrix, which is distributionally equivalent to
+        re-probing only the non-responders.
+        """
+        if not isinstance(targets, AddressBatch):
+            targets = AddressBatch.from_addresses(targets)
+        protocols = tuple(protocols)
+        rng = np.random.default_rng(self._rng.getrandbits(63))
+        result = self.internet.probe_batch(targets, protocols, day, rng=rng)
+        for _ in range(self.retries):
+            if result.responsive.all():
+                break
+            again = self.internet.probe_batch(targets, protocols, day, rng=rng)
+            result.responsive |= again.responsive
+        return result
 
     @staticmethod
     def responsive_any(sweep_result: Mapping[Protocol, ScanResult]) -> set[IPv6Address]:

@@ -13,7 +13,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.addr.address import IPv6Address
+from repro.addr.batch import AddressBatch
 from repro.netmodel.internet import SimulatedInternet
 
 
@@ -90,6 +93,7 @@ class HitlistSource(abc.ABC):
         self.runup_days = runup_days
         self._rng = random.Random(seed)
         self._records: list[SourceRecord] = []
+        self._record_arrays: tuple[AddressBatch, np.ndarray] | None = None
         self._build_records()
 
     # -- to implement ------------------------------------------------------
@@ -117,6 +121,24 @@ class HitlistSource(abc.ABC):
     def records(self) -> list[SourceRecord]:
         """All records of this source (sorted by first-seen day)."""
         return list(self._records)
+
+    def record_arrays(self) -> tuple[AddressBatch, np.ndarray]:
+        """All records as columnar arrays: ``(addresses, first_seen_days)``.
+
+        Rows are in record order (sorted by first-seen day, then address) and
+        already deduplicated per source; this is the zero-object input the
+        incremental hitlist merge consumes.  Built once and cached -- records
+        are immutable after construction.
+        """
+        if self._record_arrays is None:
+            batch = AddressBatch.from_ints([r.address.value for r in self._records])
+            days = np.fromiter(
+                (r.first_seen_day for r in self._records),
+                dtype=np.int64,
+                count=len(self._records),
+            )
+            self._record_arrays = (batch, days)
+        return self._record_arrays
 
     def snapshot(self, day: int | None = None) -> SourceSnapshot:
         """Addresses first seen on or before *day* (default: everything)."""

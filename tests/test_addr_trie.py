@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.addr import IPv6Address, IPv6Prefix, PrefixTrie

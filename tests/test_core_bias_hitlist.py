@@ -5,7 +5,6 @@ from collections import Counter
 import pytest
 
 from repro.addr import IPv6Address
-from repro.core.apd import AliasedPrefixDetector
 from repro.core.bias import (
     as_distribution,
     concentration_index,
@@ -116,8 +115,23 @@ class TestHitlistService:
     def service_day(self, small_internet):
         assembly = assemble_all_sources(small_internet, total_target=2500, seed=13, runup_days=60)
         service = HitlistService(small_internet, assembly, seed=13)
-        daily = service.run_day(0)
+        # Day 59 is the end of the run-up: every source record is in scope.
+        daily = service.run_day(59)
         return service, daily
+
+    def test_run_day_honours_day_cutoff(self, small_internet):
+        """Regression: day *d* must not see records first observed later."""
+        assembly = assemble_all_sources(small_internet, total_target=2500, seed=13, runup_days=60)
+        for engine in ("batch", "reference"):
+            service = HitlistService(small_internet, assembly, seed=13, engine=engine)
+            early = service.run_day(10)
+            full = len(Hitlist.from_assembly(assembly))
+            assert early.input_addresses == len(Hitlist.from_assembly(assembly, day=10))
+            assert early.input_addresses < full
+            max_day = max(
+                e.first_seen_day for e in early.hitlist.entries
+            ) if len(early.hitlist) else 0
+            assert max_day <= 10
 
     def test_daily_pipeline_outputs(self, service_day):
         service, daily = service_day
@@ -153,8 +167,8 @@ class TestHitlistService:
 
     def test_history_and_responsive_over_time(self, service_day):
         service, daily = service_day
-        assert 0 in service.history
+        assert 59 in service.history
         counts = service.responsive_over_time()
-        assert counts[0] == len(daily.responsive_addresses)
+        assert counts[59] == len(daily.responsive_addresses)
         icmp_counts = service.responsive_over_time(Protocol.ICMP)
-        assert icmp_counts[0] <= counts[0]
+        assert icmp_counts[59] <= counts[59]

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.addr import IPv6Address, IPv6Prefix
+from repro.addr import IPv6Prefix
 from repro.addr.generate import random_address_in_prefix
 from repro.netmodel import Protocol, SimulatedInternet
 from repro.netmodel.asregistry import ASCategory, ASRegistry

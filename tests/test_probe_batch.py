@@ -15,7 +15,7 @@ import pytest
 from repro.addr import IPv6Address, IPv6Prefix
 from repro.addr.batch import AddressBatch, random_batch_in_prefix
 from repro.addr.generate import random_addresses_in_prefix
-from repro.core.apd import AliasedPrefixDetector, APDConfig
+from repro.core.apd import AliasedPrefixDetector
 from repro.netmodel import InternetConfig, SimulatedInternet
 from repro.netmodel.services import ALL_PROTOCOLS, HostRole, Protocol
 

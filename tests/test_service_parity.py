@@ -1,0 +1,216 @@
+"""Seeded parity of the incremental batch hitlist service vs the reference loop.
+
+The two :class:`HitlistService` engines draw their stochastic effects from
+different random streams, so exact parity is asserted on a fully
+deterministic Internet (no loss, no ICMP rate limiting, no stochastic
+anomaly regions).  On that substrate the incremental engine -- day-window
+merges, APD verdict reuse, one ``probe_batch`` scan -- must publish exactly
+the same responsive sets, aliased prefix lists and provenance as rebuilding
+everything from scratch each day.
+"""
+
+import numpy as np
+import pytest
+
+from repro.addr.address import IPv6Address
+from repro.analysis.longitudinal import responsiveness_over_time
+from repro.core.hitlist import Hitlist, HitlistService
+from repro.experiments import table4
+from repro.netmodel import InternetConfig, SimulatedInternet
+from repro.sources.base import HitlistSource, SourceRecord
+from repro.sources.registry import SourceAssembly, assemble_all_sources
+
+#: Deterministic small Internet: every probe outcome is a pure function of
+#: (target, protocol, day).
+DETERMINISTIC_CONFIG = InternetConfig(
+    seed=7,
+    num_ases=60,
+    base_hosts_per_allocation=10,
+    max_hosts_per_allocation=200,
+    study_days=20,
+    packet_loss=0.0,
+    icmp_rate_limited_share=0.0,
+    stochastic_anomalies=False,
+)
+
+DAYS = list(range(6))
+
+
+class ScriptedSource(HitlistSource):
+    """A source with a hand-written record timeline (no sampling)."""
+
+    def __init__(self, name: str, records_by_day: dict[int, list[IPv6Address]]):
+        self.name = name
+        self._records = [
+            SourceRecord(address, name, day)
+            for day, addresses in sorted(records_by_day.items())
+            for address in addresses
+        ]
+        self._records.sort(key=lambda r: (r.first_seen_day, r.address.value))
+        self._record_arrays = None
+        self.runup_days = max(records_by_day) + 1 if records_by_day else 0
+
+    def _draw_addresses(self, rng):  # pragma: no cover - records are scripted
+        return []
+
+
+@pytest.fixture(scope="module")
+def deterministic_internet() -> SimulatedInternet:
+    return SimulatedInternet(DETERMINISTIC_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def scripted_assembly(deterministic_internet) -> SourceAssembly:
+    """Base sources (all records on day 0) plus two scripted late sources.
+
+    The ``invader`` source adds >100 addresses on day 3 *inside a prefix that
+    the service already labelled aliased on day 0* -- the membership change
+    must force a re-probe without breaking parity.  The ``late`` source adds
+    bound-host addresses on day 4.
+    """
+    internet = deterministic_internet
+    base = assemble_all_sources(internet, total_target=2500, seed=13, runup_days=1)
+    pilot = HitlistService(internet, base, seed=13, engine="batch")
+    day0 = pilot.run_day(0)
+    assert day0.aliased_prefixes, "pilot day 0 must detect aliased prefixes"
+    target_prefix = next(p for p in day0.aliased_prefixes if p.length <= 104)
+    invader = ScriptedSource(
+        "invader",
+        {
+            0: [IPv6Address(target_prefix.network | 0x1FF)],
+            3: [IPv6Address(target_prefix.network | (0x200 + i)) for i in range(150)],
+        },
+    )
+    late = ScriptedSource(
+        "late",
+        {4: internet.all_bound_addresses()[:120]},
+    )
+    assembly = SourceAssembly(
+        internet=internet, sources=list(base.sources) + [invader, late]
+    )
+    return assembly, target_prefix
+
+
+@pytest.fixture(scope="module")
+def both_engines(deterministic_internet, scripted_assembly):
+    assembly, target_prefix = scripted_assembly
+    batch = HitlistService(deterministic_internet, assembly, seed=13, engine="batch")
+    reference = HitlistService(
+        deterministic_internet, assembly, seed=13, engine="reference"
+    )
+    return (
+        batch.run_days(DAYS),
+        reference.run_days(DAYS),
+        batch,
+        reference,
+        target_prefix,
+    )
+
+
+class TestServiceParity:
+    def test_responsive_sets_identical(self, both_engines):
+        batch_days, reference_days, *_ = both_engines
+        for db, dr in zip(batch_days, reference_days):
+            assert db.responsive_addresses == dr.responsive_addresses, db.day
+            assert db.count_responsive() == dr.count_responsive()
+
+    def test_aliased_prefix_lists_identical(self, both_engines):
+        batch_days, reference_days, *_ = both_engines
+        for db, dr in zip(batch_days, reference_days):
+            assert db.aliased_prefixes == dr.aliased_prefixes, db.day
+
+    def test_inputs_and_targets_identical(self, both_engines):
+        batch_days, reference_days, *_ = both_engines
+        for db, dr in zip(batch_days, reference_days):
+            assert db.input_addresses == dr.input_addresses, db.day
+            assert db.num_scan_targets == dr.num_scan_targets, db.day
+            assert sorted(a.value for a in db.scan_targets) == sorted(
+                a.value for a in dr.scan_targets
+            )
+
+    def test_provenance_identical(self, both_engines):
+        batch_days, reference_days, *_ = both_engines
+        for db, dr in zip(batch_days, reference_days):
+            assert db.hitlist.provenance() == dr.hitlist.provenance(), db.day
+
+    def test_invaded_aliased_prefix_reprobed_on_day3(self, both_engines):
+        batch_days, _, batch, _, target_prefix = both_engines
+        # The prefix is aliased before, during and after the invasion.
+        for daily in batch_days:
+            assert target_prefix in daily.aliased_prefixes, daily.day
+        # The invading addresses never reach the scan target list.
+        day3 = batch_days[3]
+        invaded = {target_prefix.network | (0x200 + i) for i in range(150)}
+        assert not invaded & {a.value for a in day3.scan_targets}
+        assert invaded <= set(day3.hitlist.provenance())
+
+    def test_incremental_reuse_probes_less(self, both_engines):
+        _, _, batch, reference, _ = both_engines
+        # Days 1 and 2 bring no new records: nothing may be re-probed.
+        assert batch.apd_probe_counts[1] == 0
+        assert batch.apd_probe_counts[2] == 0
+        # Invasion day must re-probe something, but far less than a full run.
+        assert 0 < batch.apd_probe_counts[3] < reference.apd_probe_counts[3]
+
+    def test_responsive_over_time_identical(self, both_engines):
+        _, _, batch, reference, _ = both_engines
+        assert dict(batch.responsive_over_time()) == dict(
+            reference.responsive_over_time()
+        )
+
+    def test_longitudinal_batch_path_matches_scalar(self, both_engines):
+        batch_days, reference_days, batch, reference, _ = both_engines
+        groups = {
+            "all": batch_days[0].scan_targets,
+            "subset": batch_days[0].scan_targets[::3],
+            "empty": [],
+        }
+        fast = responsiveness_over_time(batch.campaign(), groups)
+        slow = responsiveness_over_time(reference.campaign(), groups)
+        for tf, ts in zip(fast, slow):
+            assert tf.group == ts.group
+            assert tf.baseline_size == ts.baseline_size
+            assert np.allclose(tf.retention, ts.retention)
+
+    def test_table4_reads_service_history(self, both_engines):
+        _, _, batch, _, _ = both_engines
+        result = table4.run_from_service(batch, windows=range(3))
+        assert [s.window for s in result.stats] == [0, 1, 2]
+        assert all(s.total_prefixes > 0 for s in result.stats)
+
+
+class TestServiceEngineContract:
+    def test_engine_synonyms(self, deterministic_internet, scripted_assembly):
+        assembly, _ = scripted_assembly
+        for name, canonical in (
+            ("vectorized", "batch"),
+            ("scalar", "reference"),
+            ("batch", "batch"),
+            ("reference", "reference"),
+        ):
+            service = HitlistService(
+                deterministic_internet, assembly, seed=1, engine=name
+            )
+            assert service.engine == canonical
+        with pytest.raises(ValueError):
+            HitlistService(deterministic_internet, assembly, seed=1, engine="turbo")
+
+    def test_batch_engine_rejects_decreasing_days(
+        self, deterministic_internet, scripted_assembly
+    ):
+        assembly, _ = scripted_assembly
+        service = HitlistService(deterministic_internet, assembly, seed=1, engine="batch")
+        service.run_day(2)
+        with pytest.raises(ValueError):
+            service.run_day(1)
+
+    def test_standing_hitlist_matches_reference_day_hitlist(
+        self, deterministic_internet, scripted_assembly
+    ):
+        assembly, _ = scripted_assembly
+        service = HitlistService(deterministic_internet, assembly, seed=1, engine="batch")
+        service.run_day(4)
+        expected = Hitlist.from_assembly(assembly, day=4)
+        standing = service.standing_hitlist
+        assert len(standing) == len(expected)
+        assert standing.provenance() == expected.provenance()
