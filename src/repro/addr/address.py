@@ -24,6 +24,9 @@ BITS = 128
 #: Mask covering the full 128-bit address space.
 FULL_MASK = (1 << BITS) - 1
 
+#: Mask of the low 64 bits (the interface identifier).
+LO_MASK = (1 << 64) - 1
+
 #: Hexadecimal alphabet used for nybble representations.
 HEX_ALPHABET = "0123456789abcdef"
 

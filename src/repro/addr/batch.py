@@ -31,13 +31,23 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.addr.address import BITS, FULL_MASK, IPv6Address, _to_int
+from repro.addr.address import (
+    BITS,
+    FULL_MASK,
+    HEX_ALPHABET,
+    LO_MASK,
+    NYBBLES,
+    IPv6Address,
+    _to_int,
+)
 from repro.addr.prefix import IPv6Prefix
 
 #: All-ones 64-bit mask as a numpy scalar.
 U64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
 
-_LO_MASK = (1 << 64) - 1
+_LO_MASK = LO_MASK
+
+_HEX_CHARS = np.array(list(HEX_ALPHABET))
 
 
 def _shl64(x: np.ndarray, shift: np.ndarray) -> np.ndarray:
@@ -177,6 +187,17 @@ class AddressBatch:
         columns = [self.nybble(index) for index in range(first, last + 1)]
         return np.stack(columns, axis=1) if columns else np.zeros((len(self), 0), np.uint8)
 
+    def nybble_strings(self) -> list[str]:
+        """Every address as its 32-character lowercase hex string.
+
+        One vectorised character gather + view instead of per-address
+        formatting; the bulk counterpart of :attr:`IPv6Address.nybbles`.
+        """
+        if len(self) == 0:
+            return []
+        chars = _HEX_CHARS[self.nybbles_matrix()]
+        return chars.view(f"<U{NYBBLES}").ravel().tolist()
+
     def masked(self, length: int) -> "AddressBatch":
         """Every address truncated to its covering /*length* network.
 
@@ -241,6 +262,21 @@ class AddressBatch:
             return AddressBatch.empty()
         s = self.sort()
         return s.take(s.sorted_run_starts())
+
+    def unique_stable(self) -> "AddressBatch":
+        """Duplicates removed, first occurrences kept in input order.
+
+        The batch equivalent of :func:`repro.addr.generate.dedupe`: the
+        lexsort behind :meth:`argsort` is stable, so the first row of every
+        equal run carries the smallest original index -- sorting those
+        indices restores first-seen order.
+        """
+        if len(self) == 0:
+            return AddressBatch.empty()
+        order = self.argsort()
+        s = self.take(order)
+        firsts = order[s.sorted_run_starts()]
+        return self.take(np.sort(firsts))
 
     def prefix_groups(
         self, length: int

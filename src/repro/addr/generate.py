@@ -123,6 +123,23 @@ def sample_capped(
     return rng.sample(list(addresses), cap)
 
 
+def sample_capped_batch(
+    batch: AddressBatch, cap: int, rng: random.Random
+) -> AddressBatch:
+    """Batch counterpart of :func:`sample_capped`, bit-identical per seed.
+
+    ``random.Random.sample`` selects by *index*, so sampling ``range(n)`` and
+    taking those rows reproduces exactly the addresses (and order) the scalar
+    path would draw from the equivalent address list.
+    """
+    if cap < 0:
+        raise ValueError("cap must be non-negative")
+    if len(batch) <= cap:
+        return batch
+    indices = rng.sample(range(len(batch)), cap)
+    return batch.take(np.asarray(indices, dtype=np.int64))
+
+
 def synthetic_mixed_batch(
     count: int,
     num_prefixes: int,

@@ -45,6 +45,13 @@ class ExperimentConfig:
     runup_days: int = 180
     longitudinal_days: int = 14
     apd_min_targets: int = 100
+    # Stochastic knobs, mirroring the InternetConfig defaults.  Zero out the
+    # first two and disable the third for a fully deterministic Internet --
+    # the substrate of the golden-snapshot regression tests, where every
+    # experiment output is a pure function of the configuration.
+    packet_loss: float = 0.015
+    icmp_rate_limited_share: float = 0.02
+    stochastic_anomalies: bool = True
 
     def internet_config(self) -> InternetConfig:
         """The matching simulated-Internet configuration."""
@@ -54,6 +61,9 @@ class ExperimentConfig:
             base_hosts_per_allocation=self.base_hosts_per_allocation,
             max_hosts_per_allocation=self.max_hosts_per_allocation,
             study_days=max(30, self.longitudinal_days + 2),
+            packet_loss=self.packet_loss,
+            icmp_rate_limited_share=self.icmp_rate_limited_share,
+            stochastic_anomalies=self.stochastic_anomalies,
         )
 
 

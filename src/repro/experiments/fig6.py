@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.addr.batch import AddressBatch
 from repro.core.bias import coverage_stats
 from repro.experiments.context import ExperimentContext
 from repro.netmodel.services import Protocol
@@ -46,9 +47,10 @@ class Fig6Result:
 
 def run(ctx: ExperimentContext) -> Fig6Result:
     """Lay out ICMP responders (non-aliased targets) over BGP prefixes."""
-    responders = sorted(ctx.responsive_on(Protocol.ICMP), key=lambda a: a.value)
-    counts = ctx.bgp_prefix_counts(responders)
-    input_counts = ctx.bgp_prefix_counts(ctx.hitlist.addresses)
+    responder_batch = AddressBatch.from_addresses(ctx.responsive_on(Protocol.ICMP)).sort()
+    responders = responder_batch.to_addresses()
+    counts = ctx.bgp_prefix_counts(responder_batch)
+    input_counts = ctx.bgp_prefix_counts(ctx.hitlist.address_batch)
     stats = coverage_stats(responders, ctx.internet)
     layout = zesplot_layout(
         ctx.internet.bgp.prefixes,

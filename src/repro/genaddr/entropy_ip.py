@@ -28,11 +28,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.addr.address import IPv6Address, NYBBLES
+from repro.addr.address import HEX_ALPHABET, IPv6Address, LO_MASK, NYBBLES
 from repro.addr.batch import AddressBatch
 from repro.core.entropy import nybble_entropies_of_matrix
 
-_HEX_DIGITS = np.array(list("0123456789abcdef"))
+_HEX_DIGITS = np.array(list(HEX_ALPHABET))
 
 
 def _rows_as_hex(matrix: np.ndarray) -> list[str]:
@@ -254,16 +254,131 @@ class EntropyIPModel:
         """True when the 32-nybble string is one of the model's seeds."""
         return nybbles in self._seed_set
 
+    def seed_values(self) -> frozenset[int]:
+        """The seed addresses as 128-bit integers (built lazily, cached).
+
+        The integer counterpart of :meth:`is_seed`, used by the batch
+        generators which track candidates as packed integers instead of
+        nybble strings.
+        """
+        cached = getattr(self, "_seed_values", None)
+        if cached is None:
+            cached = frozenset(int(nybbles, 16) for nybbles in self._seed_set)
+            self._seed_values = cached
+        return cached
+
     @property
     def seed_count(self) -> int:
         return int(self._seed_matrix.shape[0])
 
 
+class _SegmentTables:
+    """Integer-indexed views of a model's per-segment value alphabets.
+
+    Heap states and sampled assignments in the batch generators are tuples of
+    small integers instead of hex strings; these tables map value ids back to
+    strings (for conditioning lookups) and to their positional contribution to
+    the final 128-bit address, both as Python ints (heap path) and as packed
+    ``uint64`` hi/lo arrays (vectorised sampling path).
+    """
+
+    __slots__ = ("id_of", "value_of", "contrib", "contrib_hi", "contrib_lo")
+
+    def __init__(self, model: "EntropyIPModel"):
+        self.id_of: list[dict[str, int]] = []
+        self.value_of: list[list[str]] = []
+        self.contrib: list[list[int]] = []
+        self.contrib_hi: list[np.ndarray] = []
+        self.contrib_lo: list[np.ndarray] = []
+        last = len(model.segments) - 1
+        for index, segment in enumerate(model.segments):
+            values = set(model.segment_models[index].probabilities)
+            if index > 0:
+                for table in model.transitions[index - 1].values():
+                    values.update(table)
+            if index < last:
+                values.update(model.transitions[index])
+            ordered = sorted(values)
+            shift = 4 * (NYBBLES - segment.end)
+            contributions = [int(value, 16) << shift for value in ordered]
+            self.id_of.append({value: i for i, value in enumerate(ordered)})
+            self.value_of.append(ordered)
+            self.contrib.append(contributions)
+            self.contrib_hi.append(
+                np.fromiter(
+                    (c >> 64 for c in contributions), np.uint64, len(contributions)
+                )
+            )
+            self.contrib_lo.append(
+                np.fromiter(
+                    (c & LO_MASK for c in contributions), np.uint64, len(contributions)
+                )
+            )
+
+
+class _Distribution:
+    """One cached, id-indexed ``candidate_values`` result.
+
+    ``logs`` carries ``math.log`` of each candidate probability (None for
+    zero-probability entries, which the exhaustive search skips exactly like
+    the scalar loop); ``cum``/``total`` replicate ``random.choices``'s
+    cumulative-weight draw so :meth:`pick` is bit-identical to
+    ``rng.choices(population, weights)`` fed the same uniforms.
+    """
+
+    __slots__ = ("ids", "logs", "cum", "total", "hi", "lo")
+
+    def __init__(self, ids: list[int], probabilities: list[float], tables: _SegmentTables, index: int):
+        self.ids = ids
+        self.logs = [math.log(p) if p > 0 else None for p in probabilities]
+        self.cum = np.asarray(list(itertools.accumulate(probabilities)), dtype=np.float64)
+        self.total = float(self.cum[-1]) if len(self.cum) else 0.0
+        id_array = np.asarray(ids, dtype=np.int64)
+        self.hi = tables.contrib_hi[index][id_array]
+        self.lo = tables.contrib_lo[index][id_array]
+
+    def pick(self, uniforms: np.ndarray) -> np.ndarray:
+        """Candidate positions drawn by cumulative-probability searchsorted."""
+        positions = np.searchsorted(self.cum, uniforms * self.total, side="right")
+        return np.minimum(positions, len(self.cum) - 1)
+
+
 class EntropyIPGenerator:
-    """Exhaustive most-probable-first address generation from an Entropy/IP model."""
+    """Exhaustive most-probable-first address generation from an Entropy/IP model.
+
+    Every generation mode comes as a scalar/batch pair: :meth:`generate` and
+    :meth:`generate_random` are the original per-address reference loops,
+    :meth:`generate_batch` and :meth:`generate_random_batch` produce the same
+    addresses (bit-identical for the same model, budget and seed) as packed
+    columnar :class:`AddressBatch` output -- the search runs over integer
+    value ids with memoised candidate distributions, and random generation
+    samples segment values for whole attempt blocks at once.
+    """
 
     def __init__(self, model: EntropyIPModel):
         self.model = model
+        self._tables: _SegmentTables | None = None
+        self._distributions: dict[tuple[int, int | None], _Distribution] = {}
+
+    def _ensure_tables(self) -> _SegmentTables:
+        if self._tables is None:
+            self._tables = _SegmentTables(self.model)
+        return self._tables
+
+    def _distribution(self, index: int, previous_id: int | None) -> _Distribution:
+        """Memoised ``candidate_values`` for one (segment, previous value)."""
+        key = (index, previous_id)
+        cached = self._distributions.get(key)
+        if cached is None:
+            tables = self._ensure_tables()
+            previous = (
+                None if previous_id is None else tables.value_of[index - 1][previous_id]
+            )
+            candidates = self.model.candidate_values(index, previous)
+            ids = [tables.id_of[index][value] for value, _ in candidates]
+            cached = _Distribution(ids, [p for _, p in candidates], tables, index)
+            self._distributions[key] = cached
+        return cached
 
     def generate(self, budget: int, include_seeds: bool = False) -> list[IPv6Address]:
         """Generate up to *budget* addresses, most probable first.
@@ -273,18 +388,22 @@ class EntropyIPGenerator:
         fixes the next segment to one of its candidate values.  The first
         ``budget`` complete assignments popped from the priority queue are the
         most probable addresses under the model.
+
+        Equal scores are broken by the candidate *rank* tuple (each segment's
+        position in its probability-sorted candidate list) -- a content-based
+        order shared with :meth:`generate_batch`, whose lazy-successor search
+        must pop states in exactly the same sequence.
         """
         if budget <= 0:
             return []
         results: list[IPv6Address] = []
-        counter = itertools.count()
-        # Heap entries: (negative log-probability, tiebreak, values tuple).
-        heap: list[tuple[float, int, tuple[str, ...]]] = [(0.0, next(counter), ())]
-        seen_states: set[tuple[str, ...]] = set()
+        # Heap entries: (negative log-probability, rank tuple, values tuple).
+        # Rank tuples are unique per state, so values are never compared.
+        heap: list[tuple[float, tuple[int, ...], tuple[str, ...]]] = [(0.0, (), ())]
         num_segments = len(self.model.segments)
         prefix_nybbles = "0" * (self.model.first_nybble - 1)
         while heap and len(results) < budget:
-            neg_logp, _, values = heapq.heappop(heap)
+            neg_logp, ranks, values = heapq.heappop(heap)
             if len(values) == num_segments:
                 nybbles = prefix_nybbles + "".join(values)
                 if not include_seeds and self.model.is_seed(nybbles):
@@ -293,15 +412,14 @@ class EntropyIPGenerator:
                 continue
             index = len(values)
             previous = values[-1] if values else None
-            for value, probability in self.model.candidate_values(index, previous):
+            for rank, (value, probability) in enumerate(
+                self.model.candidate_values(index, previous)
+            ):
                 if probability <= 0:
                     continue
-                state = values + (value,)
-                if state in seen_states:
-                    continue
-                seen_states.add(state)
                 heapq.heappush(
-                    heap, (neg_logp - math.log(probability), next(counter), state)
+                    heap,
+                    (neg_logp - math.log(probability), ranks + (rank,), values + (value,)),
                 )
         return results
 
@@ -333,3 +451,137 @@ class EntropyIPGenerator:
                 continue
             results.append(IPv6Address.from_nybbles(nybbles))
         return results
+
+    def generate_batch(self, budget: int, include_seeds: bool = False) -> AddressBatch:
+        """Batch counterpart of :meth:`generate`: same addresses, columnar output.
+
+        Two changes make this the hot-path implementation while keeping the
+        pop sequence bit-identical to :meth:`generate` (same scores via the
+        same ``math.log`` accumulation, same rank-tuple tie-break):
+
+        * candidate distributions are memoised per (segment, previous value)
+          and indexed by integer ids -- no per-expansion sorting or string
+          assembly;
+        * successors are generated lazily: popping a state pushes only its
+          first child and its next sibling, both of which score at least as
+          high, instead of materialising every child.  The heap stays
+          O(pops) instead of O(pops x alphabet).
+        """
+        if budget <= 0:
+            return AddressBatch.empty()
+        tables = self._ensure_tables()
+        seeds = self.model.seed_values()
+        results: list[int] = []
+        num_segments = len(self.model.segments)
+        # Heap entries: (score, ranks, ids, parent score).  Ranks are unique
+        # per state, so the (non-comparable-by-score) tails never compare.
+        heap: list[tuple[float, tuple[int, ...], tuple[int, ...], float]] = [
+            (0.0, (), (), 0.0)
+        ]
+
+        def push(
+            score: float,
+            ranks: tuple[int, ...],
+            ids: tuple[int, ...],
+            rank: int,
+            distribution: _Distribution,
+        ) -> None:
+            """Push the state extending/replacing the last rank with *rank*
+            (advanced past zero-probability candidates, exactly like the
+            scalar loop's ``probability <= 0`` skip)."""
+            logs = distribution.logs
+            while rank < len(logs) and logs[rank] is None:
+                rank += 1
+            if rank >= len(logs):
+                return
+            heapq.heappush(
+                heap,
+                (
+                    score - logs[rank],
+                    ranks + (rank,),
+                    ids + (distribution.ids[rank],),
+                    score,
+                ),
+            )
+
+        while heap and len(results) < budget:
+            neg_logp, ranks, ids, parent_score = heapq.heappop(heap)
+            depth = len(ranks)
+            if depth:
+                # Next sibling: same prefix, next candidate of this segment.
+                sibling_distribution = self._distribution(
+                    depth - 1, ids[-2] if depth > 1 else None
+                )
+                push(parent_score, ranks[:-1], ids[:-1], ranks[-1] + 1, sibling_distribution)
+            if depth == num_segments:
+                address = 0
+                for index, value_id in enumerate(ids):
+                    address |= tables.contrib[index][value_id]
+                if not include_seeds and address in seeds:
+                    continue
+                results.append(address)
+                continue
+            # First child: best candidate of the next segment.
+            child_distribution = self._distribution(depth, ids[-1] if depth else None)
+            push(neg_logp, ranks, ids, 0, child_distribution)
+        return AddressBatch.from_ints(results)
+
+    def generate_random_batch(
+        self, budget: int, rng: random.Random, include_seeds: bool = False
+    ) -> AddressBatch:
+        """Batch counterpart of :meth:`generate_random` (same seeded output).
+
+        Attempts are sampled in blocks: the uniform draws come off *rng* in
+        the scalar loop's order, then every segment is resolved for the whole
+        block by cumulative-probability ``searchsorted`` (grouped by the
+        previous segment's sampled value, since the chain conditions on it).
+        The block shape means *rng* may be advanced past where the scalar
+        loop would stop once the budget is filled; the generated addresses
+        are identical.
+        """
+        if budget <= 0:
+            return AddressBatch.empty()
+        tables = self._ensure_tables()
+        seeds = self.model.seed_values()
+        num_segments = len(self.model.segments)
+        results: list[int] = []
+        seen: set[int] = set()
+        attempts = 0
+        max_attempts = budget * 20
+        while len(results) < budget and attempts < max_attempts:
+            block = min(max_attempts - attempts, max(16, budget - len(results)))
+            attempts += block
+            uniforms = np.array(
+                [rng.random() for _ in range(block * num_segments)], dtype=np.float64
+            ).reshape(block, num_segments)
+            hi = np.zeros(block, dtype=np.uint64)
+            lo = np.zeros(block, dtype=np.uint64)
+            previous_ids: np.ndarray | None = None
+            for index in range(num_segments):
+                chosen = np.empty(block, dtype=np.int64)
+                if previous_ids is None:
+                    distribution = self._distribution(index, None)
+                    picks = distribution.pick(uniforms[:, index])
+                    chosen[:] = np.asarray(distribution.ids, dtype=np.int64)[picks]
+                    hi |= distribution.hi[picks]
+                    lo |= distribution.lo[picks]
+                else:
+                    for previous_id in np.unique(previous_ids).tolist():
+                        rows = previous_ids == previous_id
+                        distribution = self._distribution(index, previous_id)
+                        picks = distribution.pick(uniforms[rows, index])
+                        chosen[rows] = np.asarray(distribution.ids, dtype=np.int64)[picks]
+                        hi[rows] |= distribution.hi[picks]
+                        lo[rows] |= distribution.lo[picks]
+                previous_ids = chosen
+            for h, l in zip(hi.tolist(), lo.tolist()):
+                value = (h << 64) | l
+                if value in seen:
+                    continue
+                seen.add(value)
+                if not include_seeds and value in seeds:
+                    continue
+                results.append(value)
+                if len(results) >= budget:
+                    break
+        return AddressBatch.from_ints(results)

@@ -9,17 +9,37 @@ tightest ranges of the densest clusters are then enumerated to produce scan
 targets.
 
 This implementation follows that structure with a scalable greedy merge and
-budget-aware range enumeration.
+budget-aware range enumeration, in two seeded-identical engines:
+
+* ``engine="batch"`` (default) grows clusters over per-position nybble
+  *bitmask* matrices -- the pair search evaluates all candidate merges with
+  one broadcast OR + ``bitwise_count`` product instead of per-pair Python
+  set unions -- and enumerates wildcard expansions by mixed-radix decoding
+  (the ``np.meshgrid``-style product of the per-position value arrays).
+* ``engine="reference"`` is the original per-string loop, kept for parity
+  tests and benchmarks.
+
+Both engines make identical merge decisions (exact range sizes, identical
+tie-breaking), so they produce identical clusters and identical generated
+addresses for the same seeds.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.addr.address import IPv6Address, nybbles_of
+import numpy as np
+
+from repro.addr.address import HEX_ALPHABET, IPv6Address, LO_MASK, NYBBLES
+from repro.addr.batch import AddressBatch, find128, union_sorted
+from repro.core.engines import canonical_engine
+
+#: Bit masks of the 16 nybble values, for unpacking range bitmasks.
+_BIT_COLUMNS = np.uint16(1) << np.arange(16, dtype=np.uint16)
 
 
 @dataclass(slots=True)
@@ -77,24 +97,116 @@ class SeedCluster:
                 break
         return result
 
+    def enumerate_batch(self, budget: int) -> AddressBatch:
+        """Batch counterpart of :meth:`enumerate_addresses` (same order).
+
+        ``itertools.product`` yields combinations with the last position
+        varying fastest; combination *k* is therefore the mixed-radix
+        decomposition of *k* over the per-position range lengths.  Positions
+        whose stride is at least the enumerated count never change digit, so
+        only positions inside the varying suffix cost a vectorised
+        divide/modulo + value gather each.
+        """
+        if budget <= 0:
+            return AddressBatch.empty()
+        count = min(budget, self.size)
+        indices = np.arange(count, dtype=np.int64)
+        hi = np.zeros(count, dtype=np.uint64)
+        lo = np.zeros(count, dtype=np.uint64)
+        stride = 1
+        for position in range(NYBBLES - 1, -1, -1):
+            values = self.ranges[position]
+            shift = 4 * (NYBBLES - 1 - position)
+            if stride >= count or len(values) == 1:
+                value = int(values[0], 16) << shift
+                hi |= np.uint64(value >> 64)
+                lo |= np.uint64(value & LO_MASK)
+            else:
+                digits = (indices // stride) % len(values)
+                contributions = [int(v, 16) << shift for v in values]
+                contrib_hi = np.fromiter(
+                    (c >> 64 for c in contributions), np.uint64, len(values)
+                )
+                contrib_lo = np.fromiter(
+                    (c & LO_MASK for c in contributions), np.uint64, len(values)
+                )
+                hi |= contrib_hi[digits]
+                lo |= contrib_lo[digits]
+            stride *= len(values)
+        return AddressBatch(hi, lo)
+
+
+class _GrownCluster:
+    """Internal batch-engine cluster: nybble-value bitmasks + seed rows.
+
+    ``mask[p]`` has bit *v* set when nybble value *v* was observed at
+    position *p*; ``rows`` indexes the generator's sorted-unique seed batch
+    in the same order the scalar engine concatenates seed strings.
+    """
+
+    __slots__ = ("mask", "rows")
+
+    def __init__(self, mask: np.ndarray, rows: np.ndarray):
+        self.mask = mask
+        self.rows = rows
+
+    @property
+    def size(self) -> int:
+        """Exact covered-range size (Python int, no overflow)."""
+        return math.prod(int(c) for c in np.bitwise_count(self.mask))
+
+    @property
+    def density(self) -> float:
+        return len(self.rows) / self.size
+
+    def merged_with(self, other: "_GrownCluster") -> "_GrownCluster":
+        return _GrownCluster(
+            self.mask | other.mask, np.concatenate((self.rows, other.rows))
+        )
+
+    def merged_size(self, other: "_GrownCluster") -> int:
+        return math.prod(int(c) for c in np.bitwise_count(self.mask | other.mask))
+
 
 class SixGenGenerator:
     """Generate scan targets by growing and enumerating dense seed clusters."""
 
     def __init__(
         self,
-        seeds: Sequence["IPv6Address | int | str"],
+        seeds: "AddressBatch | Sequence[IPv6Address | int | str]",
         max_cluster_size: int = 2**20,
         max_clusters: int = 256,
         seed: int = 0,
+        engine: str = "batch",
     ):
-        seed_nybbles = sorted({nybbles_of(s) for s in seeds})
-        if not seed_nybbles:
-            raise ValueError("6Gen needs at least one seed address")
-        self._seed_set = set(seed_nybbles)
+        self.engine = canonical_engine(engine, "batch", "reference")
         self.max_cluster_size = max_cluster_size
         self._rng = random.Random(seed)
-        self.clusters = self._grow_clusters(seed_nybbles, max_clusters)
+        batch = (
+            seeds if isinstance(seeds, AddressBatch) else AddressBatch.from_addresses(seeds)
+        ).unique()
+        if len(batch) == 0:
+            raise ValueError("6Gen needs at least one seed address")
+        #: Sorted-unique seed addresses (the columnar seed membership filter).
+        self._seed_batch = batch
+        self._seed_strings: list[str] | None = None
+        self._seed_set_cache: set[str] | None = None
+        if self.engine == "batch":
+            self.clusters = self._grow_clusters_batch(batch, max_clusters)
+        else:
+            self.clusters = self._grow_clusters(self._seed_nybbles(), max_clusters)
+
+    def _seed_nybbles(self) -> list[str]:
+        """Sorted seed nybble strings (materialised lazily from the batch)."""
+        if self._seed_strings is None:
+            self._seed_strings = self._seed_batch.nybble_strings()
+        return self._seed_strings
+
+    @property
+    def _seed_set(self) -> set[str]:
+        if self._seed_set_cache is None:
+            self._seed_set_cache = set(self._seed_nybbles())
+        return self._seed_set_cache
 
     # -- clustering ----------------------------------------------------------------
 
@@ -151,6 +263,111 @@ class SixGenGenerator:
                 clusters = halved
         return clusters
 
+    # -- batch clustering ---------------------------------------------------------
+
+    def _grow_clusters_batch(
+        self, batch: AddressBatch, max_clusters: int
+    ) -> list[SeedCluster]:
+        """The vectorised grower: identical decisions over bitmask matrices.
+
+        The sorted-unique batch makes bucket boundaries one run scan over the
+        upper 64 bits (the /64 network part), and ascending row order within
+        a bucket matches the scalar engine's sorted seed strings.  Only the
+        ``max_clusters`` surviving clusters are materialised back into
+        :class:`SeedCluster` objects (ranges + seed strings).
+        """
+        matrix = batch.nybbles_matrix()
+        masks = (np.uint16(1) << matrix.astype(np.uint16))
+        boundary = np.ones(len(batch), dtype=bool)
+        boundary[1:] = batch.hi[1:] != batch.hi[:-1]
+        starts = np.flatnonzero(boundary).tolist() + [len(batch)]
+        grown: list[_GrownCluster] = []
+        for start, end in zip(starts, starts[1:]):
+            bucket = [
+                _GrownCluster(masks[row], np.asarray([row], dtype=np.int64))
+                for row in range(start, end)
+            ]
+            grown.extend(self._merge_bucket_batch(bucket))
+        # Exact same ordering as the scalar engine: density ties broken
+        # towards more seeds, Python's stable sort everywhere.
+        grown.sort(key=lambda c: (-c.density, -len(c.rows)))
+        grown = grown[:max_clusters]
+        # Materialise only the survivors (and only their seeds) as strings.
+        kept_rows = (
+            np.concatenate([c.rows for c in grown]) if grown else np.zeros(0, np.int64)
+        )
+        strings = batch.take(kept_rows).nybble_strings()
+        clusters: list[SeedCluster] = []
+        offset = 0
+        for cluster in grown:
+            ranges = tuple(
+                tuple(HEX_ALPHABET[v] for v in np.flatnonzero(_BIT_COLUMNS & mask).tolist())
+                for mask in cluster.mask.tolist()
+            )
+            count = len(cluster.rows)
+            clusters.append(
+                SeedCluster(ranges=ranges, seeds=strings[offset : offset + count])
+            )
+            offset += count
+        return clusters
+
+    def _merge_bucket_batch(self, clusters: list[_GrownCluster]) -> list[_GrownCluster]:
+        """Scalar merge loop with the O(n^2) pair scan done as array math."""
+        merged = True
+        while merged and len(clusters) > 1:
+            merged = False
+            best_pair = self._best_pair(clusters)
+            if best_pair is not None:
+                i, j = best_pair
+                combined = clusters[i].merged_with(clusters[j])
+                clusters = [c for idx, c in enumerate(clusters) if idx not in (i, j)]
+                clusters.append(combined)
+                merged = True
+            if len(clusters) > 60:
+                clusters.sort(key=lambda c: int(c.rows[0]))
+                halved: list[_GrownCluster] = []
+                for a, b in zip(clusters[0::2], clusters[1::2]):
+                    if a.merged_size(b) <= self.max_cluster_size:
+                        halved.append(a.merged_with(b))
+                    else:
+                        halved.extend((a, b))
+                if len(clusters) % 2:
+                    halved.append(clusters[-1])
+                clusters = halved
+        return clusters
+
+    def _best_pair(self, clusters: list[_GrownCluster]) -> tuple[int, int] | None:
+        """First (row-major) admissible pair of strictly smallest merged size.
+
+        All pairwise merged sizes come from one broadcast OR +
+        ``bitwise_count`` product per row block.  Sizes are compared in
+        float64: any size at or below ``max_cluster_size`` (the only ones
+        that can win) is an exact integer there, so the winner and the
+        scalar engine's first-strictly-smaller scan agree pair for pair.
+        """
+        m = len(clusters)
+        stack = np.stack([c.mask for c in clusters])
+        columns = np.arange(m)[None, :]
+        block = max(1, 4_000_000 // (m * NYBBLES + 1))
+        best_size = np.inf
+        best_flat = -1
+        for start in range(0, m, block):
+            end = min(m, start + block)
+            ors = stack[start:end, None, :] | stack[None, :, :]
+            sizes = np.multiply.reduce(
+                np.bitwise_count(ors).astype(np.float64), axis=2
+            )
+            sizes[columns <= np.arange(start, end)[:, None]] = np.inf
+            sizes[sizes > self.max_cluster_size] = np.inf
+            flat = int(np.argmin(sizes))
+            size = float(sizes.flat[flat])
+            if size < best_size:
+                best_size = size
+                best_flat = (start + flat // m) * m + flat % m
+        if best_flat < 0 or not np.isfinite(best_size):
+            return None
+        return divmod(best_flat, m)
+
     # -- generation -------------------------------------------------------------------
 
     def generate(self, budget: int, include_seeds: bool = False) -> list[IPv6Address]:
@@ -163,6 +380,7 @@ class SixGenGenerator:
             return []
         results: list[IPv6Address] = []
         seen: set[str] = set()
+        seed_set = self._seed_set
         # Round-robin over clusters by density until the budget is filled, so
         # a single huge cluster does not consume everything.
         per_round = max(1, budget // max(1, len(self.clusters)))
@@ -173,13 +391,56 @@ class SixGenGenerator:
                 nybbles = address.nybbles
                 if nybbles in seen:
                     continue
-                if not include_seeds and nybbles in self._seed_set:
-                    continue
                 seen.add(nybbles)
+                if not include_seeds and nybbles in seed_set:
+                    continue
                 results.append(address)
                 if len(results) >= budget:
                     break
         return results
+
+    def generate_batch(self, budget: int, include_seeds: bool = False) -> AddressBatch:
+        """Batch counterpart of :meth:`generate`: same addresses, columnar.
+
+        Clusters are enumerated with :meth:`SeedCluster.enumerate_batch`;
+        cross-cluster deduplication is a sorted binary search against the
+        previously accepted targets, and seed exclusion one
+        :func:`find128` pass against the sorted seed batch.
+        """
+        if budget <= 0:
+            return AddressBatch.empty()
+        accepted: list[AddressBatch] = []
+        accepted_sorted = AddressBatch.empty()
+        total = 0
+        per_round = max(1, budget // max(1, len(self.clusters)))
+        for cluster in self.clusters:
+            if total >= budget:
+                break
+            enumerated = cluster.enumerate_batch(per_round * 4)
+            if len(enumerated) == 0:
+                continue
+            keep = find128(
+                accepted_sorted.hi, accepted_sorted.lo, enumerated.hi, enumerated.lo
+            ) < 0
+            if not include_seeds:
+                keep &= (
+                    find128(
+                        self._seed_batch.hi,
+                        self._seed_batch.lo,
+                        enumerated.hi,
+                        enumerated.lo,
+                    )
+                    < 0
+                )
+            fresh = enumerated.take(keep)
+            if len(fresh) > budget - total:
+                fresh = fresh.take(np.arange(budget - total, dtype=np.int64))
+            if len(fresh) == 0:
+                continue
+            accepted.append(fresh)
+            total += len(fresh)
+            accepted_sorted = union_sorted(accepted_sorted, fresh.sort())[0]
+        return AddressBatch.concatenate(accepted)
 
     @property
     def cluster_count(self) -> int:

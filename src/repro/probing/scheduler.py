@@ -109,6 +109,22 @@ class BatchDailyScanResult:
             self._per_protocol[protocol] = cached
         return cached
 
+    def take(self, indices: np.ndarray) -> "BatchDailyScanResult":
+        """This day restricted to the targets at *indices* (matrix slice).
+
+        Lets one combined sweep serve several target groups -- e.g. the
+        generation pipeline probes the union of both tools' candidates once
+        and splits the result back per tool -- without re-probing or
+        materialising scalar address sets.
+        """
+        sliced = BatchProbeResult(
+            day=self.result.day,
+            protocols=self.result.protocols,
+            targets=self.result.targets.take(indices),
+            responsive=self.result.responsive[indices],
+        )
+        return BatchDailyScanResult(day=self.day, result=sliced)
+
 
 class ScanScheduler:
     """Run multi-day, multi-protocol scan campaigns."""

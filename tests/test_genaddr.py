@@ -133,6 +133,28 @@ class TestEntropyIPGenerator:
         assert len(set(generated)) == len(generated)
         assert len(generated) <= 50
 
+    @pytest.mark.parametrize(
+        "scheme", [AddressingScheme.LOW_COUNTER, AddressingScheme.STRUCTURED]
+    )
+    def test_generate_batch_matches_scalar(self, scheme):
+        model = EntropyIPModel(_seeds(scheme, count=200))
+        generator = EntropyIPGenerator(model)
+        for budget in (0, 1, 40, 400):
+            for include_seeds in (False, True):
+                scalar = generator.generate(budget, include_seeds=include_seeds)
+                batch = generator.generate_batch(budget, include_seeds=include_seeds)
+                assert [a.value for a in scalar] == batch.to_ints(), (
+                    budget,
+                    include_seeds,
+                )
+
+    def test_generate_random_batch_matches_scalar(self):
+        model = EntropyIPModel(_seeds(AddressingScheme.STRUCTURED, count=200))
+        generator = EntropyIPGenerator(model)
+        scalar = generator.generate_random(60, random.Random(9))
+        batch = generator.generate_random_batch(60, random.Random(9))
+        assert [a.value for a in scalar] == batch.to_ints()
+
 
 class TestSeedCluster:
     def test_from_seed_is_singleton(self):
@@ -156,6 +178,57 @@ class TestSeedCluster:
         assert merged.size == 4
         assert len(merged.enumerate_addresses(3)) == 3
         assert len(merged.enumerate_addresses(10)) == 4
+
+
+class TestSeedClusterBudgetEdges:
+    @pytest.fixture()
+    def wide_cluster(self):
+        """A cluster whose wildcard space (3 x 2 = 6) is fully known."""
+        a = SeedCluster.from_seed("0" * 30 + "11")
+        b = SeedCluster.from_seed("0" * 30 + "22")
+        c = SeedCluster.from_seed("0" * 30 + "31")
+        merged = a.merged_with(b).merged_with(c)
+        assert merged.size == 6
+        return merged
+
+    def test_budget_of_zero_and_negative(self, wide_cluster):
+        assert wide_cluster.enumerate_addresses(0) == []
+        assert wide_cluster.enumerate_addresses(-3) == []
+        assert len(wide_cluster.enumerate_batch(0)) == 0
+        assert len(wide_cluster.enumerate_batch(-3)) == 0
+
+    def test_wildcard_space_larger_than_budget(self, wide_cluster):
+        for budget in range(1, wide_cluster.size):
+            scalar = wide_cluster.enumerate_addresses(budget)
+            assert len(scalar) == budget
+            batch = wide_cluster.enumerate_batch(budget)
+            assert [a.value for a in scalar] == batch.to_ints()
+
+    def test_budget_at_and_beyond_size(self, wide_cluster):
+        size = wide_cluster.size
+        for budget in (size, size + 1, size * 10):
+            scalar = wide_cluster.enumerate_addresses(budget)
+            assert len(scalar) == size
+            assert len(set(scalar)) == size
+            assert [a.value for a in scalar] == wide_cluster.enumerate_batch(budget).to_ints()
+
+    def test_enumeration_is_lexicographic(self, wide_cluster):
+        enumerated = [a.nybbles for a in wide_cluster.enumerate_addresses(10**6)]
+        assert enumerated == sorted(enumerated)
+
+    def test_singleton_cluster_enumerates_itself(self):
+        cluster = SeedCluster.from_seed("2" + "0" * 31)
+        assert [a.nybbles for a in cluster.enumerate_addresses(5)] == ["2" + "0" * 31]
+        assert cluster.enumerate_batch(5).to_ints() == [2 << 124]
+
+    def test_unsorted_ranges_preserve_product_order(self):
+        """enumerate_batch must follow the ranges as given, like product()."""
+        cluster = SeedCluster(
+            ranges=(("3", "1"),) + tuple((c,) for c in "0" * 30) + (("2", "0"),),
+            seeds=[],
+        )
+        scalar = cluster.enumerate_addresses(10)
+        assert [a.value for a in scalar] == cluster.enumerate_batch(10).to_ints()
 
 
 class TestSixGen:
@@ -186,6 +259,53 @@ class TestSixGen:
         seeds = [IPv6Address.parse("2001:db8::1")] * 10 + [IPv6Address.parse("2001:db8::2")]
         generator = SixGenGenerator(seeds)
         assert generator.cluster_count >= 1
+
+    def test_cluster_of_identical_seeds(self):
+        """All-duplicate seed lists collapse to one singleton cluster."""
+        seeds = [IPv6Address.parse("2001:db8::1")] * 10
+        for engine in ("batch", "reference"):
+            generator = SixGenGenerator(seeds, engine=engine)
+            assert generator.cluster_count == 1
+            assert generator.clusters[0].size == 1
+            assert generator.clusters[0].density == 1.0
+            # The only enumerable address is the seed itself: excluded by
+            # default, returned when seeds are allowed.
+            assert generator.generate(10) == []
+            assert len(generator.generate_batch(10)) == 0
+            included = generator.generate(10, include_seeds=True)
+            assert [a.value for a in included] == [seeds[0].value]
+            assert generator.generate_batch(10, include_seeds=True).to_ints() == [
+                seeds[0].value
+            ]
+
+    def test_engines_grow_identical_clusters(self):
+        seeds = _seeds(AddressingScheme.STRUCTURED, count=180, seed=2)
+        reference = SixGenGenerator(seeds, engine="reference")
+        batch = SixGenGenerator(seeds, engine="batch")
+        assert reference.clusters == batch.clusters
+        for budget in (0, 1, 25, 500):
+            assert [
+                a.value for a in reference.generate(budget)
+            ] == batch.generate_batch(budget).to_ints(), budget
+
+    def test_generate_budget_exceeding_enumerable_space(self):
+        """A budget far beyond the clusters' total range must not loop/raise."""
+        seeds = [IPv6Address.parse("2001:db8::1"), IPv6Address.parse("2001:db8::3")]
+        for engine in ("batch", "reference"):
+            generator = SixGenGenerator(seeds, engine=engine)
+            total_space = sum(c.size for c in generator.clusters)
+            generated = generator.generate(10_000)
+            assert len(generated) <= total_space
+            assert [a.value for a in generated] == generator.generate_batch(
+                10_000
+            ).to_ints()
+
+    def test_engine_synonyms(self):
+        seeds = [IPv6Address.parse("2001:db8::1")]
+        assert SixGenGenerator(seeds, engine="vectorized").engine == "batch"
+        assert SixGenGenerator(seeds, engine="scalar").engine == "reference"
+        with pytest.raises(ValueError):
+            SixGenGenerator(seeds, engine="warp")
 
 
 class TestGenerationPipeline:
