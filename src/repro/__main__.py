@@ -3,8 +3,10 @@
 Usage::
 
     python -m repro list                      # show all experiment ids
+    python -m repro list-scenarios            # show all scenario presets
     python -m repro run fig7                  # run one experiment (default scale)
     python -m repro run table2 --scale test   # faster, smaller configuration
+    python -m repro run table1 --scenario cdn-heavy --scale test
     python -m repro run-all --scale test      # everything over one shared context
 """
 
@@ -18,10 +20,49 @@ from repro.experiments import EXPERIMENTS, run_all, run_experiment
 from repro.experiments.context import (
     DEFAULT_EXPERIMENT_CONFIG,
     TEST_EXPERIMENT_CONFIG,
+    ExperimentConfig,
     ExperimentContext,
 )
+from repro.scenarios import SCALE_TIERS, get_scenario, iter_scenarios, scenario_names
 
 _SCALES = {"default": DEFAULT_EXPERIMENT_CONFIG, "test": TEST_EXPERIMENT_CONFIG}
+
+
+def _add_config_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(set(_SCALES) | set(SCALE_TIERS)),
+        default="default",
+        help=(
+            "pipeline scale to use (the scenario-only tiers "
+            f"{sorted(set(SCALE_TIERS) - set(_SCALES))} require --scenario)"
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default=None,
+        help="run inside a named scenario preset (composed with --scale)",
+    )
+
+
+def resolve_config(scale: str, scenario: str | None) -> ExperimentConfig:
+    """The experiment configuration for a --scale / --scenario pair.
+
+    Without a scenario the historical per-scale configurations are used (they
+    pin their own seeds); with one, the preset is composed with the matching
+    scale tier.  Tiers that exist only in the scenario layer (tiny, mega)
+    need a scenario to compose with.
+    """
+    if scenario is not None:
+        return get_scenario(scenario, scale=scale).experiment_config()
+    config = _SCALES.get(scale)
+    if config is None:
+        raise ValueError(
+            f"--scale {scale} is a scenario tier; pair it with --scenario "
+            "(e.g. --scenario baseline)"
+        )
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,17 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list all experiment ids")
+    subparsers.add_parser(
+        "list-scenarios", help="list all scenario presets with their descriptions"
+    )
 
     run_parser = subparsers.add_parser("run", help="run a single experiment and print its report")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
-    run_parser.add_argument(
-        "--scale", choices=sorted(_SCALES), default="default", help="pipeline scale to use"
-    )
+    _add_config_options(run_parser)
 
     all_parser = subparsers.add_parser("run-all", help="run every experiment over one shared context")
-    all_parser.add_argument(
-        "--scale", choices=sorted(_SCALES), default="default", help="pipeline scale to use"
-    )
+    _add_config_options(all_parser)
     return parser
 
 
@@ -54,7 +94,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
         return 0
-    config = _SCALES[args.scale]
+    if args.command == "list-scenarios":
+        for scenario in iter_scenarios():
+            print(f"{scenario.name}: {scenario.description}")
+        return 0
+    try:
+        config = resolve_config(args.scale, args.scenario)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     if args.command == "run":
         outcome = run_experiment(args.experiment, config=config)
         print(f"== {outcome.experiment_id} ==")

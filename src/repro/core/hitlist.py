@@ -455,6 +455,40 @@ class HitlistService:
         self._candidate_sorted: list[IPv6Prefix] | None = None
         self._outcome_cache: dict[IPv6Prefix, PrefixProbeOutcome] = {}
 
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "str | object",
+        *,
+        scale: str | None = None,
+        anomalies: str | None = None,
+        seed: int | None = None,
+        engine: str = "batch",
+        protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+    ) -> "HitlistService":
+        """A service over a named scenario preset (see :mod:`repro.scenarios`).
+
+        Builds the scenario's simulated Internet and source assembly (shared
+        wiring: :meth:`Scenario.build_substrate`), then wires the service
+        with the scenario's APD floor.  ``scale`` and ``anomalies`` compose
+        the named tiers on top of the preset.  Service days share the
+        sources' run-up timeline: run days at or after the scenario's
+        ``runup_days`` to see the full hitlist input.
+        """
+        from repro.scenarios import as_scenario
+
+        resolved = as_scenario(scenario, scale=scale, anomalies=anomalies)
+        config = resolved.experiment_config(seed=seed)
+        internet, assembly = resolved.build_substrate(seed=seed)
+        return cls(
+            internet,
+            assembly,
+            apd_config=APDConfig(min_targets_per_prefix=config.apd_min_targets),
+            protocols=protocols,
+            seed=config.seed,
+            engine=engine,
+        )
+
     # -- daily loop -------------------------------------------------------------
 
     def run_day(self, day: int) -> DailyHitlist:

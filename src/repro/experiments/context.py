@@ -9,7 +9,7 @@ plus per-experiment analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import cached_property
 from typing import Mapping, Sequence
 
@@ -52,10 +52,16 @@ class ExperimentConfig:
     packet_loss: float = 0.015
     icmp_rate_limited_share: float = 0.02
     stochastic_anomalies: bool = True
+    # Extra InternetConfig fields applied on top of the derived configuration,
+    # as a sorted tuple of (field, value) pairs so the config stays hashable.
+    # This is how scenario presets (repro.scenarios) reach Internet-only knobs
+    # -- aliased_region_rate, deaggregation_rate, uptimes, ... -- through an
+    # ExperimentConfig without widening this dataclass for each of them.
+    internet_overrides: tuple[tuple[str, object], ...] = ()
 
     def internet_config(self) -> InternetConfig:
         """The matching simulated-Internet configuration."""
-        return InternetConfig(
+        config = InternetConfig(
             seed=self.seed,
             num_ases=self.num_ases,
             base_hosts_per_allocation=self.base_hosts_per_allocation,
@@ -65,6 +71,9 @@ class ExperimentConfig:
             icmp_rate_limited_share=self.icmp_rate_limited_share,
             stochastic_anomalies=self.stochastic_anomalies,
         )
+        if self.internet_overrides:
+            config = replace(config, **dict(self.internet_overrides))
+        return config
 
 
 #: Configuration used by the benchmark harness and EXPERIMENTS.md.
@@ -87,6 +96,25 @@ class ExperimentContext:
 
     def __init__(self, config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG):
         self.config = config
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "str | object",
+        *,
+        scale: str | None = None,
+        anomalies: str | None = None,
+        seed: int | None = None,
+    ) -> "ExperimentContext":
+        """Context for a named scenario preset (see :mod:`repro.scenarios`).
+
+        ``scale`` / ``anomalies`` name a scale tier / anomaly mix to compose
+        on top of the preset; ``seed`` overrides the scenario seed.
+        """
+        from repro.scenarios import as_scenario
+
+        resolved = as_scenario(scenario, scale=scale, anomalies=anomalies)
+        return cls(resolved.experiment_config(seed=seed))
 
     # -- substrate -----------------------------------------------------------------
 

@@ -281,6 +281,30 @@ class GenerationPipeline:
         self.engine = canonical_engine(engine, "batch", "reference")
         self._rng = random.Random(seed)
 
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "str | object",
+        *,
+        scale: str | None = None,
+        anomalies: str | None = None,
+        seed: int | None = None,
+        engine: str = "batch",
+        **kwargs,
+    ) -> "GenerationPipeline":
+        """A pipeline over a named scenario preset's simulated Internet.
+
+        ``scale`` / ``anomalies`` compose the named tiers on top of the
+        preset; remaining keyword arguments go to the constructor.
+        """
+        from repro.scenarios import as_scenario
+
+        resolved = as_scenario(scenario, scale=scale, anomalies=anomalies)
+        config = resolved.experiment_config(seed=seed)
+        return cls(
+            resolved.build_internet(seed=seed), seed=config.seed, engine=engine, **kwargs
+        )
+
     # -- seed preparation ------------------------------------------------------------
 
     def seeds_by_as(

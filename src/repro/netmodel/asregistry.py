@@ -103,8 +103,19 @@ class ASRegistry:
         self._by_number = {d.asn.number: d for d in self._descriptors}
 
     @classmethod
-    def build(cls, num_ases: int, rng: random.Random, zipf_exponent: float = 1.1) -> "ASRegistry":
-        """Create *num_ases* ASes: the notable operators plus a Zipf tail."""
+    def build(
+        cls,
+        num_ases: int,
+        rng: random.Random,
+        zipf_exponent: float = 1.1,
+        eyeball_boost: float = 1.0,
+    ) -> "ASRegistry":
+        """Create *num_ases* ASes: the notable operators plus a Zipf tail.
+
+        ``eyeball_boost`` multiplies the eyeball-ISP share of the tail
+        category mix (1.0 keeps the default weights and the default random
+        draw sequence).
+        """
         if num_ases < len(NOTABLE_OPERATORS):
             raise ValueError(
                 f"num_ases must be at least {len(NOTABLE_OPERATORS)} to host the notable operators"
@@ -124,7 +135,10 @@ class ASRegistry:
             next_asn += 1
         tail_count = num_ases - len(descriptors)
         categories = [c for c, _ in TAIL_CATEGORY_WEIGHTS]
-        weights = [w for _, w in TAIL_CATEGORY_WEIGHTS]
+        weights = [
+            w * eyeball_boost if c is ASCategory.EYEBALL_ISP else w
+            for c, w in TAIL_CATEGORY_WEIGHTS
+        ]
         for rank in range(1, tail_count + 1):
             category = rng.choices(categories, weights)[0]
             weight = 1.0 / (rank**zipf_exponent)

@@ -10,7 +10,7 @@ magnitude smaller, with knobs to scale it up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +47,11 @@ class InternetConfig:
     deaggregation_rate:
         Probability that an allocation is announced as several more-specific
         /48s instead of one aggregate.
+    eyeball_tail_boost:
+        Multiplier on the eyeball-ISP share of the anonymous long-tail AS
+        population.  1.0 keeps the default category mix; larger values tilt
+        the tail towards client/CPE networks (the EUI-64 CPE-flood regime of
+        Rye & Levin), smaller values towards server networks.
     stochastic_anomalies:
         Whether to register the Section 5.1 anomaly regions (SYN proxy /80,
         ICMP rate-limited /120s) whose replies are random per probe.  Turn
@@ -69,26 +74,15 @@ class InternetConfig:
     cpe_daily_uptime: float = 0.80
     server_daily_uptime: float = 0.995
     deaggregation_rate: float = 0.25
+    eyeball_tail_boost: float = 1.0
     stochastic_anomalies: bool = True
 
     def scaled(self, factor: float) -> "InternetConfig":
         """A copy with host counts scaled by *factor* (same structure)."""
-        return InternetConfig(
-            seed=self.seed,
-            num_ases=self.num_ases,
+        return replace(
+            self,
             base_hosts_per_allocation=max(1, int(self.base_hosts_per_allocation * factor)),
             max_hosts_per_allocation=max(4, int(self.max_hosts_per_allocation * factor)),
-            aliased_region_rate=self.aliased_region_rate,
-            aliased_regions_per_cdn_allocation=self.aliased_regions_per_cdn_allocation,
-            packet_loss=self.packet_loss,
-            icmp_rate_limited_share=self.icmp_rate_limited_share,
-            modern_linux_share=self.modern_linux_share,
-            study_days=self.study_days,
-            client_daily_uptime=self.client_daily_uptime,
-            cpe_daily_uptime=self.cpe_daily_uptime,
-            server_daily_uptime=self.server_daily_uptime,
-            deaggregation_rate=self.deaggregation_rate,
-            stochastic_anomalies=self.stochastic_anomalies,
         )
 
 

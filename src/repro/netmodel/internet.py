@@ -275,7 +275,9 @@ class SimulatedInternet:
         self.config = config
         self._rng = random.Random(config.seed)
         self._probe_rng = random.Random(config.seed ^ 0x5EED)
-        self.registry = ASRegistry.build(config.num_ases, self._rng)
+        self.registry = ASRegistry.build(
+            config.num_ases, self._rng, eyeball_boost=config.eyeball_tail_boost
+        )
         self.bgp = BGPTable()
         self.topology = Topology(random.Random(config.seed ^ 0x70B0))
         self.plans: list[NetworkPlan] = []

@@ -1,0 +1,357 @@
+"""Cross-engine differential oracle over scenario presets.
+
+Every subsystem of the pipeline ships a fast columnar engine next to the
+scalar reference implementation it must agree with:
+
+* APD -- :class:`~repro.core.apd.AliasedPrefixDetector` (``batch``/``scalar``),
+* clustering -- :class:`~repro.core.clustering.EntropyClustering`
+  (``batch``/``reference``),
+* the daily service -- :class:`~repro.core.hitlist.HitlistService`
+  (``batch``/``reference``),
+* generation -- :class:`~repro.genaddr.pipeline.GenerationPipeline`
+  (``batch``/``reference``).
+
+:func:`run_differential` builds ONE deterministic Internet from a scenario
+(the scenario's anomaly mix is forced to ``deterministic``: zero loss, zero
+ICMP rate limiting, no stochastic anomaly regions, so probe outcomes are pure
+functions of (target, protocol, day)) and asserts exact batch-vs-reference
+parity for all four pairs on it.  The hypothesis harness in
+``tests/fuzz/test_differential.py`` samples scenario knobs and feeds them
+through this oracle; ``scripts/fuzz_scenarios.py`` drives the same oracle
+from the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.apd import AliasedPrefixDetector, APDConfig, APDResult
+from repro.core.clustering import EntropyClustering
+from repro.core.hitlist import Hitlist, HitlistService
+from repro.genaddr.pipeline import TOOLS, GenerationPipeline
+from repro.netmodel.internet import SimulatedInternet
+from repro.scenarios.registry import Scenario, as_scenario
+from repro.sources.registry import SourceAssembly
+
+#: The four engine pairs the oracle can exercise, in pipeline order.
+ENGINE_PAIRS = ("apd", "clustering", "service", "generation")
+
+#: Knob -> (low, high) bounds the fuzz drivers sample, the single source of
+#: truth shared by the hypothesis harness (tests/fuzz) and the CLI driver
+#: (scripts/fuzz_scenarios.py).  Integer bounds sample integers, float bounds
+#: floats.  Scale knobs stay tiny so one sampled Internet builds in about a
+#: second; structure knobs span their full range, including the degenerate
+#: ends (no aliasing at all, every allocation deaggregated, near-dead
+#: clients).  num_ases must clear the notable-operator floor (31).
+FUZZ_KNOB_RANGES: dict[str, tuple] = {
+    "num_ases": (32, 44),
+    "base_hosts_per_allocation": (3, 7),
+    "max_hosts_per_allocation": (60, 140),
+    "hitlist_target": (400, 1200),
+    "runup_days": (5, 30),
+    "aliased_region_rate": (0.0, 1.0),
+    "aliased_regions_per_cdn_allocation": (1, 10),
+    "deaggregation_rate": (0.0, 0.9),
+    "eyeball_tail_boost": (0.25, 6.0),
+    "client_daily_uptime": (0.05, 0.95),
+    "apd_min_targets": (40, 120),
+}
+
+
+@dataclass(slots=True)
+class PairCheck:
+    """Outcome of one engine-pair parity check on one scenario."""
+
+    pair: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(slots=True)
+class DifferentialReport:
+    """All parity checks of one differential run."""
+
+    scenario: str
+    seed: int
+    knobs: dict[str, object] = field(default_factory=dict)
+    checks: list[PairCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list[PairCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def summary(self) -> str:
+        lines = [f"scenario={self.scenario} seed={self.seed} knobs={self.knobs}"]
+        for check in self.checks:
+            status = "ok" if check.passed else "FAIL"
+            line = f"  [{status}] {check.pair}"
+            if check.detail:
+                line += f": {check.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _diff_sets(name: str, reference: set, batch: set, limit: int = 3) -> str:
+    """Empty string when equal, else a compact description of the asymmetry."""
+    if reference == batch:
+        return ""
+    only_ref = sorted(reference - batch, key=repr)[:limit]
+    only_batch = sorted(batch - reference, key=repr)[:limit]
+    return (
+        f"{name} differs: {len(reference)} reference vs {len(batch)} batch; "
+        f"reference-only={only_ref} batch-only={only_batch}"
+    )
+
+
+# -- per-pair checks ----------------------------------------------------------------
+
+
+def check_apd(
+    internet: SimulatedInternet,
+    addresses: Sequence,
+    apd_config: APDConfig,
+    seed: int,
+) -> tuple[PairCheck, APDResult]:
+    """Exact per-prefix verdict parity of the batch vs scalar APD engines.
+
+    Returns the batch result so downstream checks can reuse the verdicts.
+    """
+    batch = AliasedPrefixDetector(
+        internet, apd_config, seed=seed, engine="batch"
+    ).run(addresses, day=0)
+    scalar = AliasedPrefixDetector(
+        internet, apd_config, seed=seed, engine="scalar"
+    ).run(addresses, day=0)
+    problems = []
+    if set(batch.outcomes) != set(scalar.outcomes):
+        problems.append(
+            _diff_sets("probed prefixes", set(scalar.outcomes), set(batch.outcomes))
+        )
+    else:
+        flips = [
+            prefix
+            for prefix, outcome in batch.outcomes.items()
+            if outcome.is_aliased != scalar.outcomes[prefix].is_aliased
+        ]
+        if flips:
+            problems.append(f"{len(flips)} verdict flips, e.g. {flips[:3]}")
+    detail = "; ".join(p for p in problems if p)
+    if not detail:
+        detail = f"{len(batch.outcomes)} prefixes, {len(batch.aliased_prefixes)} aliased"
+    return PairCheck("apd", not problems, detail), batch
+
+
+def check_clustering(
+    internet: SimulatedInternet,
+    addresses: Sequence,
+    seed: int,
+    min_addresses: int = 30,
+    candidate_ks: Sequence[int] = tuple(range(1, 9)),
+) -> PairCheck:
+    """Exact fingerprint/label/SSE parity of the two clustering engines."""
+    engines = {
+        name: EntropyClustering(
+            min_addresses=min_addresses,
+            candidate_ks=candidate_ks,
+            seed=seed,
+            engine=name,
+        )
+        for name in ("reference", "batch")
+    }
+    fingerprints = {
+        name: clustering.fingerprints_by_prefix(addresses, 32)
+        for name, clustering in engines.items()
+    }
+    problems = []
+    ref_fp, bat_fp = fingerprints["reference"], fingerprints["batch"]
+    if [f.network for f in ref_fp] != [f.network for f in bat_fp]:
+        problems.append(
+            _diff_sets(
+                "fingerprinted networks",
+                {f.network for f in ref_fp},
+                {f.network for f in bat_fp},
+            )
+            or "fingerprint order differs"
+        )
+    else:
+        for ref, bat in zip(ref_fp, bat_fp):
+            if ref.sample_size != bat.sample_size or ref.entropies != bat.entropies:
+                problems.append(f"fingerprint of {ref.network} differs")
+                break
+    if not problems and ref_fp:
+        ref_result = engines["reference"].cluster(ref_fp)
+        bat_result = engines["batch"].cluster(bat_fp)
+        if ref_result.k != bat_result.k:
+            problems.append(f"k differs: {ref_result.k} reference vs {bat_result.k} batch")
+        elif ref_result.labels != bat_result.labels:
+            problems.append("cluster labels differ")
+        elif ref_result.sse_by_k != bat_result.sse_by_k:
+            problems.append("SSE curves differ")
+    detail = "; ".join(problems)
+    if not detail:
+        detail = f"{len(ref_fp)} networks above the popularity floor"
+    return PairCheck("clustering", not problems, detail)
+
+
+def check_service(
+    internet: SimulatedInternet,
+    assembly: SourceAssembly,
+    seed: int,
+    days: Sequence[int],
+    apd_config: APDConfig,
+) -> PairCheck:
+    """Per-day published-state parity of the two HitlistService engines."""
+    services = {
+        name: HitlistService(
+            internet, assembly, apd_config=apd_config, seed=seed, engine=name
+        )
+        for name in ("reference", "batch")
+    }
+    histories = {name: service.run_days(days) for name, service in services.items()}
+    problems = []
+    for ref_day, bat_day in zip(histories["reference"], histories["batch"]):
+        day = ref_day.day
+        if ref_day.input_addresses != bat_day.input_addresses:
+            problems.append(
+                f"day {day}: input {ref_day.input_addresses} vs {bat_day.input_addresses}"
+            )
+        problems.append(
+            _diff_sets(
+                f"day {day} aliased prefixes",
+                set(ref_day.aliased_prefixes),
+                set(bat_day.aliased_prefixes),
+            )
+        )
+        problems.append(
+            _diff_sets(
+                f"day {day} responsive",
+                ref_day.responsive_addresses,
+                bat_day.responsive_addresses,
+            )
+        )
+        if ref_day.hitlist.provenance() != bat_day.hitlist.provenance():
+            problems.append(f"day {day}: provenance differs")
+    problems = [p for p in problems if p]
+    detail = "; ".join(problems)
+    if not detail:
+        last = histories["batch"][-1]
+        detail = f"{len(days)} days, {last.count_responsive()} responsive on day {last.day}"
+    return PairCheck("service", not problems, detail)
+
+
+def check_generation(
+    internet: SimulatedInternet,
+    non_aliased: Sequence,
+    apd_result: APDResult,
+    seed: int,
+    min_seeds_per_as: int = 40,
+    generation_budget_per_as: int = 120,
+) -> PairCheck:
+    """Candidate-set and responsiveness parity of the two generation engines."""
+    reports = {}
+    for name in ("reference", "batch"):
+        pipeline = GenerationPipeline(
+            internet,
+            min_seeds_per_as=min_seeds_per_as,
+            generation_budget_per_as=generation_budget_per_as,
+            seed=seed,
+            engine=name,
+        )
+        reports[name] = pipeline.run(
+            non_aliased, day=0, probe=True, apd_result=apd_result
+        )
+    reference, batch = reports["reference"], reports["batch"]
+    problems = []
+    ref_rows = [(g.asn, g.tool, g.seeds, g.generated_count) for g in reference.per_as]
+    bat_rows = [(g.asn, g.tool, g.seeds, g.generated_count) for g in batch.per_as]
+    if ref_rows != bat_rows:
+        problems.append(f"per-AS rows differ ({len(ref_rows)} vs {len(bat_rows)})")
+    for tool in TOOLS:
+        problems.append(
+            _diff_sets(
+                f"{tool} candidates",
+                {a.value for a in reference.candidates.get(tool, [])},
+                set(batch.candidate_batch(tool).to_ints()),
+            )
+        )
+        problems.append(
+            _diff_sets(
+                f"{tool} responsive",
+                {a.value for a in reference.responsive_any(tool)},
+                {a.value for a in batch.responsive_any(tool)},
+            )
+        )
+    problems = [p for p in problems if p]
+    detail = "; ".join(problems)
+    if not detail:
+        detail = ", ".join(
+            f"{tool}: {batch.generated_count(tool)} candidates" for tool in TOOLS
+        )
+    return PairCheck("generation", not problems, detail)
+
+
+# -- the oracle ---------------------------------------------------------------------
+
+
+def run_differential(
+    scenario: "str | Scenario",
+    *,
+    seed: int = 2018,
+    days: int = 2,
+    pairs: Iterable[str] = ENGINE_PAIRS,
+) -> DifferentialReport:
+    """Run all requested engine-pair parity checks on one scenario.
+
+    The scenario is forced deterministic (see the module docstring) and a
+    single Internet + source assembly substrate is shared by every check.
+    """
+    pairs = tuple(pairs)
+    unknown = sorted(set(pairs) - set(ENGINE_PAIRS))
+    if unknown:
+        raise ValueError(f"unknown engine pair(s) {unknown}: expected {ENGINE_PAIRS}")
+    if days < 1:
+        raise ValueError(f"days must be >= 1, got {days}")
+    scenario = as_scenario(scenario).deterministic()
+    context = scenario.build_context(seed=seed)
+    config = context.config
+    internet, assembly = context.internet, context.assembly
+    hitlist = Hitlist.from_assembly(assembly)
+    addresses = hitlist.addresses
+    apd_config = APDConfig(min_targets_per_prefix=config.apd_min_targets)
+    report = DifferentialReport(
+        scenario=scenario.name, seed=seed, knobs=scenario.resolved_overrides()
+    )
+    apd_result: APDResult | None = None
+    if "apd" in pairs:
+        apd_check, apd_result = check_apd(internet, addresses, apd_config, seed)
+        report.checks.append(apd_check)
+    elif "generation" in pairs:
+        # Generation only needs verdicts to seed from: skip the scalar engine.
+        apd_result = AliasedPrefixDetector(
+            internet, apd_config, seed=seed, engine="batch"
+        ).run(addresses, day=0)
+    if "clustering" in pairs:
+        report.checks.append(check_clustering(internet, addresses, seed))
+    if "service" in pairs:
+        # Service days share the run-up timeline (first_seen_day ∈ [0,
+        # runup_days)), so run at the end of the run-up: the first day sees
+        # nearly the whole input and later days still merge fresh records.
+        first_day = max(0, config.runup_days - 2)
+        report.checks.append(
+            check_service(
+                internet,
+                assembly,
+                seed,
+                list(range(first_day, first_day + days)),
+                apd_config,
+            )
+        )
+    if "generation" in pairs:
+        _, non_aliased = apd_result.split(addresses)
+        report.checks.append(check_generation(internet, non_aliased, apd_result, seed))
+    return report

@@ -1,0 +1,128 @@
+"""The built-in scenario presets.
+
+Each preset is a base :class:`~repro.scenarios.registry.ScenarioLayer`
+describing the *structure* of a network environment; scale tiers and anomaly
+mixes compose on top (see the registry module for the composition rules).
+The presets span the regimes the hitlist literature worries about: CDN-driven
+aliasing (this paper), EUI-64 CPE floods and single-category dominance (Rye &
+Levin, "Be Careful What You Wish For"), sparse source coverage, heavy client
+churn, deaggregated routing tables and ICMP rate limiting.
+
+Adding a preset
+---------------
+
+Call :func:`~repro.scenarios.registry.register_scenario` with a
+:class:`Scenario` whose single base layer sets only the knobs that define the
+environment -- leave scale and stochasticity to the tiers so the preset stays
+composable.  Knobs must be ``InternetConfig`` / ``ExperimentConfig`` fields.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import (
+    SCALE_TIERS,
+    Scenario,
+    ScenarioLayer,
+    register_scenario,
+)
+
+
+def _preset(name: str, description: str, overrides: dict) -> Scenario:
+    return register_scenario(
+        Scenario(name, description, (ScenarioLayer(f"preset:{name}", overrides),))
+    )
+
+
+#: The paper's default environment: nothing overridden.
+BASELINE = _preset(
+    "baseline",
+    "the paper's default laptop-scale Internet",
+    {},
+)
+
+#: Aliasing concentrated in a few huge CDNs (the Amazon regime of Section 5).
+CDN_HEAVY = _preset(
+    "cdn-heavy",
+    "CDN-dominated aliasing: most cloud allocations announce many aliased /48s",
+    {
+        "aliased_region_rate": 0.95,
+        "aliased_regions_per_cdn_allocation": 12,
+        "deaggregation_rate": 0.15,
+    },
+)
+
+#: The Rye & Levin failure mode: an eyeball-tilted Internet flooded with
+#: EUI-64 CPE addresses of mostly-online home routers.
+EUI64_CPE_FLOOD = _preset(
+    "eui64-cpe-flood",
+    "eyeball-ISP dominated tail; EUI-64 CPE addresses flood the hitlist",
+    {
+        "eyeball_tail_boost": 4.0,
+        "cpe_daily_uptime": 0.92,
+        "modern_linux_share": 0.25,
+    },
+)
+
+#: Thin source coverage: small hitlist input after a short run-up.
+SPARSE_SOURCES = _preset(
+    "sparse-sources",
+    "sparse source coverage: small hitlist input, short run-up, lower APD floor",
+    {
+        "hitlist_target": 2_500,
+        "runup_days": 45,
+        "apd_min_targets": 60,
+    },
+)
+
+#: Aliasing everywhere: every cloud allocation aliases many /48s and hosters
+#: alias too -- the stress case for APD and de-aliasing.
+ALIASING_STORM = _preset(
+    "aliasing-storm",
+    "aliased regions everywhere: every CDN allocation and many hosters alias",
+    {
+        "aliased_region_rate": 1.0,
+        "aliased_regions_per_cdn_allocation": 18,
+        "apd_min_targets": 60,
+    },
+)
+
+#: Clients and CPE appear and vanish daily; even servers flap.
+HIGH_CHURN = _preset(
+    "high-churn",
+    "heavy daily churn: clients rarely online, CPE flaps, servers degrade",
+    {
+        "client_daily_uptime": 0.12,
+        "cpe_daily_uptime": 0.45,
+        "server_daily_uptime": 0.90,
+    },
+)
+
+#: A swamp of more-specific announcements: most allocations deaggregate.
+DEAGGREGATED_SWAMP = _preset(
+    "deaggregated-swamp",
+    "heavily deaggregated routing table: most allocations announce /40s-/48s",
+    {
+        "deaggregation_rate": 0.90,
+    },
+)
+
+#: Widespread ICMP rate limiting plus elevated loss (the Table 4 regime).
+RATE_LIMITED = _preset(
+    "rate-limited",
+    "widespread ICMP rate limiting and elevated packet loss",
+    {
+        "icmp_rate_limited_share": 0.35,
+        "packet_loss": 0.05,
+    },
+)
+
+#: The default structure, several times larger in every dimension -- the
+#: mega scale tier promoted to a named preset (one shared layer, so tier and
+#: preset cannot drift apart).
+MEGASCALE = register_scenario(
+    Scenario(
+        "megascale",
+        "the default structure at stress-run scale (compose with care: slow)",
+        (SCALE_TIERS["mega"],),
+    )
+)

@@ -1,0 +1,19 @@
+"""Hypothesis profiles for the differential fuzz harness.
+
+Only *registered* here -- nothing is loaded globally, because a global
+``settings.load_profile`` would also shrink the example budget of every
+pre-existing property test in ``tests/``.  The fuzz tests carry their own
+default budget via an explicit ``@settings`` (tunable through
+``REPRO_FUZZ_EXAMPLES``); the profiles below adjust the *unspecified*
+attributes:
+
+* ``ci``: derandomized, so the fuzz-smoke CI job explores a fixed example
+  sequence reproducible run over run (``--hypothesis-profile=ci``).
+
+Every fuzz example builds a whole simulated Internet and runs four engine
+pairs -- seconds by design -- so the explicit settings disable the deadline.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True)

@@ -1,0 +1,50 @@
+"""The benchmark JSON writer must accumulate history, not clobber it."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_CONFTEST = Path(__file__).resolve().parent.parent / "benchmarks" / "conftest.py"
+
+
+@pytest.fixture()
+def bench_conftest(tmp_path, monkeypatch):
+    """The benchmark conftest module, writing into a temporary directory."""
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    spec = importlib.util.spec_from_file_location("repro_bench_conftest", _CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module, tmp_path
+
+
+class TestBenchHistory:
+    def test_two_runs_append_two_entries(self, bench_conftest):
+        module, tmp_path = bench_conftest
+        path = module.write_bench_json("demo", {"speedup": 5.0})
+        module.write_bench_json("demo", {"speedup": 6.0})
+        record = json.loads(path.read_text())
+        assert record["benchmark"] == "demo"
+        assert [entry["speedup"] for entry in record["history"]] == [5.0, 6.0]
+        for entry in record["history"]:
+            assert "timestamp" in entry
+            assert "git_sha" in entry
+            assert "python" in entry
+
+    def test_legacy_single_record_file_is_migrated(self, bench_conftest):
+        module, tmp_path = bench_conftest
+        legacy = {"benchmark": "demo", "speedup": 4.0, "python": "3.11.0"}
+        (tmp_path / "BENCH_demo.json").write_text(json.dumps(legacy))
+        path = module.write_bench_json("demo", {"speedup": 5.5})
+        record = json.loads(path.read_text())
+        assert len(record["history"]) == 2
+        assert record["history"][0]["speedup"] == 4.0  # the migrated legacy run
+        assert record["history"][1]["speedup"] == 5.5
+
+    def test_corrupt_file_starts_fresh(self, bench_conftest):
+        module, tmp_path = bench_conftest
+        (tmp_path / "BENCH_demo.json").write_text("{not json")
+        path = module.write_bench_json("demo", {"speedup": 7.0})
+        record = json.loads(path.read_text())
+        assert [entry["speedup"] for entry in record["history"]] == [7.0]

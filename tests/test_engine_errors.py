@@ -1,0 +1,77 @@
+"""Error paths of every ``engine=`` entry point.
+
+Each engine-paired layer must reject an unknown engine string with a clear
+``ValueError`` listing every accepted synonym, before doing any work -- a
+typo'd engine name must never silently fall back to either implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.apd import AliasedPrefixDetector
+from repro.core.clustering import EntropyClustering, kmeans, sse_curve
+from repro.core.engines import FAST_ENGINE_NAMES, REFERENCE_ENGINE_NAMES, canonical_engine
+from repro.core.hitlist import HitlistService
+from repro.core.sliding_window import SlidingWindowMerger
+from repro.genaddr import GenerationPipeline
+
+ALL_SYNONYMS = sorted(FAST_ENGINE_NAMES | REFERENCE_ENGINE_NAMES)
+
+
+def assert_lists_synonyms(excinfo):
+    """The error message must name every accepted engine synonym."""
+    message = str(excinfo.value)
+    for synonym in ALL_SYNONYMS:
+        assert synonym in message, f"{synonym!r} missing from: {message}"
+
+
+class TestCanonicalEngine:
+    def test_all_synonyms_accepted(self):
+        for name in FAST_ENGINE_NAMES:
+            assert canonical_engine(name, "fast", "slow") == "fast"
+        for name in REFERENCE_ENGINE_NAMES:
+            assert canonical_engine(name, "fast", "slow") == "slow"
+
+    def test_unknown_engine_lists_synonyms(self):
+        with pytest.raises(ValueError) as excinfo:
+            canonical_engine("turbo", "fast", "slow")
+        assert_lists_synonyms(excinfo)
+        assert "turbo" in str(excinfo.value)
+
+
+class TestEntryPoints:
+    def test_apd_detector(self, tiny_internet):
+        with pytest.raises(ValueError) as excinfo:
+            AliasedPrefixDetector(tiny_internet, engine="quantum")
+        assert_lists_synonyms(excinfo)
+
+    def test_entropy_clustering(self):
+        with pytest.raises(ValueError) as excinfo:
+            EntropyClustering(engine="quantum")
+        assert_lists_synonyms(excinfo)
+
+    def test_hitlist_service(self, tiny_internet):
+        with pytest.raises(ValueError) as excinfo:
+            HitlistService(tiny_internet, assembly=None, engine="quantum")
+        assert_lists_synonyms(excinfo)
+
+    def test_generation_pipeline(self, tiny_internet):
+        with pytest.raises(ValueError) as excinfo:
+            GenerationPipeline(tiny_internet, engine="quantum")
+        assert_lists_synonyms(excinfo)
+
+    def test_kmeans_and_sse_curve(self):
+        data = np.zeros((4, 2))
+        with pytest.raises(ValueError) as excinfo:
+            kmeans(data, 2, engine="quantum")
+        assert_lists_synonyms(excinfo)
+        with pytest.raises(ValueError) as excinfo:
+            sse_curve(data, [1, 2], engine="quantum")
+        assert_lists_synonyms(excinfo)
+
+    def test_sliding_window_merger(self):
+        from repro.core.apd import APDResult
+
+        with pytest.raises(ValueError) as excinfo:
+            SlidingWindowMerger({0: APDResult(day=0)}, engine="quantum")
+        assert_lists_synonyms(excinfo)

@@ -1,0 +1,187 @@
+"""Tests for the scenario registry, composition rules and plumbing."""
+
+import pytest
+
+from repro.__main__ import build_parser, main, resolve_config
+from repro.core.hitlist import HitlistService
+from repro.experiments.context import ExperimentContext
+from repro.genaddr import GenerationPipeline
+from repro.scenarios import (
+    ANOMALY_MIXES,
+    SCALE_TIERS,
+    Scenario,
+    ScenarioLayer,
+    as_scenario,
+    get_scenario,
+    iter_scenarios,
+    scenario_names,
+)
+
+
+class TestRegistry:
+    def test_at_least_eight_presets_registered(self):
+        assert len(scenario_names()) >= 8
+
+    def test_expected_presets_present(self):
+        names = set(scenario_names())
+        assert {
+            "baseline",
+            "cdn-heavy",
+            "eui64-cpe-flood",
+            "sparse-sources",
+            "aliasing-storm",
+            "high-churn",
+            "deaggregated-swamp",
+            "rate-limited",
+            "megascale",
+        } <= names
+
+    def test_unknown_name_lists_registered_names(self):
+        with pytest.raises(ValueError, match="cdn-heavy"):
+            get_scenario("does-not-exist")
+
+    def test_iter_scenarios_ordered_and_described(self):
+        scenarios = list(iter_scenarios())
+        assert [s.name for s in scenarios] == scenario_names()
+        assert all(s.description for s in scenarios)
+
+    def test_as_scenario_accepts_instances_and_names(self):
+        by_name = as_scenario("baseline", scale="tiny")
+        by_instance = as_scenario(get_scenario("baseline"), scale="tiny")
+        assert by_name == by_instance
+
+
+class TestComposition:
+    def test_later_layers_win(self):
+        scenario = (
+            get_scenario("cdn-heavy")
+            .at_scale("tiny")
+            .with_overrides("ad-hoc", {"num_ases": 33, "aliased_region_rate": 0.5})
+        )
+        resolved = scenario.resolved_overrides()
+        assert resolved["num_ases"] == 33  # ad-hoc beats the tiny tier's 40
+        assert resolved["aliased_region_rate"] == 0.5  # ad-hoc beats the preset
+
+    def test_scale_tier_and_anomaly_mix_names(self):
+        assert {"tiny", "test", "default", "mega"} <= set(SCALE_TIERS)
+        assert {"deterministic", "realistic", "hostile"} <= set(ANOMALY_MIXES)
+        with pytest.raises(ValueError, match="tiny"):
+            get_scenario("baseline").at_scale("galactic")
+        with pytest.raises(ValueError, match="deterministic"):
+            get_scenario("baseline").with_anomalies("weird")
+
+    def test_deterministic_zeroes_stochastic_knobs(self):
+        config = get_scenario("rate-limited").deterministic().experiment_config()
+        assert config.packet_loss == 0.0
+        assert config.icmp_rate_limited_share == 0.0
+        assert config.stochastic_anomalies is False
+        internet_config = config.internet_config()
+        assert internet_config.packet_loss == 0.0
+        assert internet_config.stochastic_anomalies is False
+
+    def test_internet_only_knobs_flow_through_experiment_config(self):
+        config = get_scenario("cdn-heavy").experiment_config()
+        assert dict(config.internet_overrides)["aliased_region_rate"] == 0.95
+        internet_config = config.internet_config()
+        assert internet_config.aliased_region_rate == 0.95
+        assert internet_config.aliased_regions_per_cdn_allocation == 12
+
+    def test_unknown_knob_rejected_at_layer_construction(self):
+        with pytest.raises(ValueError, match="warp_factor"):
+            ScenarioLayer("bad", {"warp_factor": 9})
+
+    def test_seed_override(self):
+        assert get_scenario("baseline").experiment_config(seed=99).seed == 99
+
+    def test_scenarios_are_hashable(self):
+        scenario = get_scenario("high-churn", scale="tiny")
+        assert scenario in {scenario}
+
+    def test_baseline_matches_defaults(self):
+        from repro.experiments.context import ExperimentConfig
+
+        assert get_scenario("baseline").experiment_config() == ExperimentConfig()
+        assert get_scenario("baseline").internet_config() == ExperimentConfig().internet_config()
+
+
+class TestCLI:
+    def test_parser_accepts_scenario(self):
+        args = build_parser().parse_args(
+            ["run", "table3", "--scenario", "cdn-heavy", "--scale", "test"]
+        )
+        assert args.scenario == "cdn-heavy"
+        assert args.scale == "test"
+
+    def test_parser_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table3", "--scenario", "bogus"])
+
+    def test_resolve_config_composes_scale(self):
+        config = resolve_config("test", "cdn-heavy")
+        assert config == get_scenario("cdn-heavy", scale="test").experiment_config()
+        assert config.num_ases == 80  # the test tier
+        assert dict(config.internet_overrides)["aliased_region_rate"] == 0.95
+
+    def test_resolve_config_without_scenario_keeps_legacy_scales(self):
+        from repro.experiments.context import TEST_EXPERIMENT_CONFIG
+
+        assert resolve_config("test", None) == TEST_EXPERIMENT_CONFIG
+
+    def test_list_scenarios_prints_all(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_run_table3_inside_scenario(self, capsys):
+        assert main(["run", "table3", "--scenario", "sparse-sources", "--scale", "test"]) == 0
+        assert "table3" in capsys.readouterr().out
+
+    def test_scenario_only_tiers_require_a_scenario(self, capsys):
+        assert main(["run", "table3", "--scale", "tiny"]) == 2
+        assert "--scenario" in capsys.readouterr().err
+        args = build_parser().parse_args(
+            ["run", "table3", "--scenario", "baseline", "--scale", "tiny"]
+        )
+        assert resolve_config(args.scale, args.scenario) == get_scenario(
+            "baseline", scale="tiny"
+        ).experiment_config()
+
+
+class TestFromScenario:
+    def test_experiment_context_from_scenario(self):
+        ctx = ExperimentContext.from_scenario("high-churn", scale="tiny")
+        assert ctx.config == get_scenario("high-churn", scale="tiny").experiment_config()
+        assert ctx.config.internet_config().client_daily_uptime == 0.12
+
+    def test_hitlist_service_from_scenario(self):
+        service = HitlistService.from_scenario(
+            "sparse-sources", scale="tiny", anomalies="deterministic", engine="reference"
+        )
+        assert service.engine == "reference"
+        assert service.apd_config.min_targets_per_prefix == 60
+        assert service.internet.config.packet_loss == 0.0
+        assert len(service.assembly.sources) > 0
+
+    def test_generation_pipeline_from_scenario(self):
+        pipeline = GenerationPipeline.from_scenario(
+            "cdn-heavy", scale="tiny", min_seeds_per_as=50
+        )
+        assert pipeline.engine == "batch"
+        assert pipeline.min_seeds_per_as == 50
+        assert pipeline.internet.config.aliased_region_rate == 0.95
+
+    def test_scenario_build_internet_honours_seed(self):
+        scenario = Scenario("ad-hoc", "one-off", ())
+        config = scenario.internet_config(seed=123)
+        assert config.seed == 123
+
+
+class TestDifferentialValidation:
+    def test_rejects_unknown_pairs_and_bad_days(self):
+        from repro.scenarios import run_differential
+
+        with pytest.raises(ValueError, match="engine pair"):
+            run_differential("baseline", pairs=["apd", "warp"])
+        with pytest.raises(ValueError, match="days"):
+            run_differential("baseline", days=0)
