@@ -8,6 +8,9 @@ Usage::
     python -m repro run table2 --scale test   # faster, smaller configuration
     python -m repro run table1 --scenario cdn-heavy --scale test
     python -m repro run-all --scale test      # everything over one shared context
+    python -m repro serve --scale tiny --days 3          # publish daily snapshots
+    python -m repro query --scale tiny --address 2001:db8::1
+    python -m repro query --scale tiny --prefix 2001:db8::/32
 """
 
 from __future__ import annotations
@@ -65,6 +68,93 @@ def resolve_config(scale: str, scenario: str | None) -> ExperimentConfig:
     return config
 
 
+def _add_serving_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the serving-layer commands (serve, query)."""
+    parser.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default="baseline",
+        help="scenario preset to serve (default: baseline)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALE_TIERS),
+        default="test",
+        help="scenario scale tier (default: test)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="batch",
+        help="hitlist engine: batch/vectorized or reference/scalar",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    parser.add_argument(
+        "--day",
+        type=int,
+        default=None,
+        help="first day to publish (default: the scenario's run-up horizon)",
+    )
+
+
+def _build_server(args: argparse.Namespace):
+    """A server over the requested scenario, plus the first day to publish."""
+    from repro.serving import HitlistServer
+
+    server = HitlistServer.from_scenario(
+        args.scenario, scale=args.scale, seed=args.seed, engine=args.engine
+    )
+    first_day = args.day
+    if first_day is None:
+        first_day = get_scenario(args.scenario, scale=args.scale).experiment_config().runup_days
+    return server, first_day
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Publish a run of daily snapshots, reporting each generation."""
+    server, first_day = _build_server(args)
+    for day in range(first_day, first_day + args.days):
+        snapshot = server.publish_day(day)
+        print(
+            f"generation {snapshot.generation}: day {snapshot.day}, "
+            f"{snapshot.num_addresses} addresses, "
+            f"{snapshot.num_scan_targets} scan targets, "
+            f"{snapshot.num_responsive()} responsive"
+        )
+    stats = server.stats()
+    print(f"published generations: {server.published_generations}")
+    print(f"queries served: {stats['queries_total']}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Publish one snapshot and answer a point/prefix/AS query against it."""
+    server, first_day = _build_server(args)
+    day = first_day if args.day is None else args.day
+    snapshot = server.publish_day(day)
+    print(f"snapshot generation {snapshot.generation} (day {snapshot.day})")
+    if args.address is not None:
+        answer = server.point_query(args.address)
+        print(f"address {answer.address.compressed}:")
+        print(f"  in hitlist: {answer.in_hitlist}")
+        print(f"  aliased: {answer.aliased}")
+        print(f"  sources: {', '.join(answer.sources) or '-'}")
+        first_seen = "-" if answer.first_seen_day is None else answer.first_seen_day
+        print(f"  first seen day: {first_seen}")
+        for protocol, responsive in zip(answer.protocols, answer.responsive):
+            print(f"  responsive on {protocol.value}: {responsive}")
+    elif args.prefix is not None:
+        answer = server.prefix_query(args.prefix, include_aliased=args.include_aliased)
+        print(f"prefix {args.prefix}:")
+        print(f"  addresses: {answer.num_addresses}")
+        print(f"  responsive (any protocol): {answer.num_responsive()}")
+    else:
+        answer = server.as_query(args.asn)
+        print(f"AS{args.asn}:")
+        print(f"  addresses: {answer.num_addresses}")
+        print(f"  responsive (any protocol): {answer.num_responsive()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -84,6 +174,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     all_parser = subparsers.add_parser("run-all", help="run every experiment over one shared context")
     _add_config_options(all_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="publish a run of daily hitlist snapshots and report each generation"
+    )
+    _add_serving_options(serve_parser)
+    serve_parser.add_argument(
+        "--days", type=int, default=1, help="number of consecutive days to publish (default: 1)"
+    )
+
+    query_parser = subparsers.add_parser(
+        "query", help="publish one snapshot and answer a point/prefix/AS query against it"
+    )
+    _add_serving_options(query_parser)
+    what = query_parser.add_mutually_exclusive_group(required=True)
+    what.add_argument("--address", default=None, help="point query: one IPv6 address")
+    what.add_argument("--prefix", default=None, help="prefix query: a CIDR prefix")
+    what.add_argument("--asn", type=int, default=None, help="AS query: an origin AS number")
+    query_parser.add_argument(
+        "--include-aliased",
+        action="store_true",
+        help="prefix query: include rows inside aliased prefixes",
+    )
     return parser
 
 
@@ -98,6 +210,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         for scenario in iter_scenarios():
             print(f"{scenario.name}: {scenario.description}")
         return 0
+    if args.command in ("serve", "query"):
+        try:
+            return _cmd_serve(args) if args.command == "serve" else _cmd_query(args)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
     try:
         config = resolve_config(args.scale, args.scenario)
     except ValueError as error:

@@ -74,6 +74,19 @@ def _shr64(x: np.ndarray, shift: np.ndarray) -> np.ndarray:
     return np.where(ok, x >> safe, np.uint64(0))
 
 
+def readonly_view(array: np.ndarray) -> np.ndarray:
+    """A read-only view of *array* (shares memory, no copy).
+
+    The publish-boundary guard: everything a hitlist snapshot hands out is
+    wrapped in one of these, so a consumer that tries to mutate published
+    arrays gets an immediate ``ValueError`` from numpy instead of silently
+    corrupting state shared with concurrent readers.
+    """
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
 def prefix_masks(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """(hi, lo) netmasks for an array of prefix lengths (0..128)."""
     lengths = np.asarray(lengths, dtype=np.int64)
@@ -231,6 +244,14 @@ class AddressBatch:
 
     def take(self, indices: np.ndarray) -> "AddressBatch":
         return AddressBatch(self.hi[indices], self.lo[indices])
+
+    def readonly(self) -> "AddressBatch":
+        """This batch with read-only ``hi``/``lo`` views (no copy).
+
+        Hands the same memory to consumers while making in-place mutation a
+        ``ValueError``; see :func:`readonly_view`.
+        """
+        return AddressBatch(readonly_view(self.hi), readonly_view(self.lo))
 
     def sort(self) -> "AddressBatch":
         return self.take(self.argsort())

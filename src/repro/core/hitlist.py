@@ -32,6 +32,7 @@ from repro.addr.batch import (
     AddressBatch,
     find128,
     prefix_masks,
+    readonly_view,
     searchsorted128,
     union_sorted,
 )
@@ -252,21 +253,42 @@ class Hitlist:
 
     @property
     def address_batch(self) -> AddressBatch:
-        """All hitlist addresses as a columnar batch (the primary view)."""
+        """All hitlist addresses as a columnar batch (the primary view).
+
+        A read-only view over the internal arrays: curation mutates the
+        hitlist only by replacing whole arrays, never in place, so handing
+        out frozen views is free and keeps published snapshots immutable.
+        """
         self._flush()
-        return AddressBatch(self._hi, self._lo)
+        return AddressBatch(self._hi, self._lo).readonly()
 
     @property
     def first_seen_days(self) -> np.ndarray:
-        """Per-address first-seen day, aligned with :attr:`address_batch`."""
+        """Per-address first-seen day, aligned with :attr:`address_batch` (read-only)."""
         self._flush()
-        return self._first
+        return readonly_view(self._first)
 
     @property
     def source_masks(self) -> np.ndarray:
-        """Per-address source membership bitmasks (bit order = source_names)."""
+        """Per-address source membership bitmasks, bit order = source_names (read-only)."""
         self._flush()
-        return self._masks
+        return readonly_view(self._masks)
+
+    def snapshot_arrays(
+        self,
+    ) -> tuple[AddressBatch, np.ndarray, np.ndarray, tuple[str, ...]]:
+        """The snapshot export: every column a published view needs, frozen.
+
+        Returns ``(addresses, source_masks, first_seen_days, source_names)``
+        where the arrays are read-only views sharing this hitlist's memory --
+        the zero-copy input of :class:`repro.serving.HitlistSnapshot`.
+        """
+        return (
+            self.address_batch,
+            self.source_masks,
+            self.first_seen_days,
+            tuple(self._source_names),
+        )
 
     def _sources_of_mask(self, mask: int) -> set[str]:
         return {name for bit, name in enumerate(self._source_names) if mask >> bit & 1}
@@ -381,10 +403,10 @@ class DailyHitlist:
 
     @property
     def targets_batch(self) -> AddressBatch:
-        """The scan targets as a columnar batch."""
+        """The scan targets as a columnar batch (read-only: a published artefact)."""
         if self._targets_batch is None:
             self._targets_batch = AddressBatch.from_addresses(self._scan_targets)
-        return self._targets_batch
+        return self._targets_batch.readonly()
 
     @property
     def responsive_addresses(self) -> set[IPv6Address]:
@@ -448,6 +470,7 @@ class HitlistService:
         self.history: dict[int, DailyHitlist] = {}
         #: Per-day number of candidate prefixes actually (re-)probed.
         self.apd_probe_counts: dict[int, int] = {}
+        self._publish_hooks: list = []
         # Incremental batch-engine state.
         self._standing: Hitlist | None = None
         self._merged_through: int | None = None
@@ -491,6 +514,17 @@ class HitlistService:
 
     # -- daily loop -------------------------------------------------------------
 
+    def add_publish_hook(self, hook) -> None:
+        """Register a callable invoked with each day's :class:`DailyHitlist`.
+
+        Hooks fire after the day is recorded in :attr:`history` -- the
+        publish boundary.  The serving layer subscribes here to freeze and
+        swap in a new :class:`~repro.serving.HitlistSnapshot` the moment a
+        day is complete, so a service driven by any caller (CLI, examples,
+        tests) keeps its servers current without extra wiring.
+        """
+        self._publish_hooks.append(hook)
+
     def run_day(self, day: int) -> DailyHitlist:
         """Run the full pipeline for one day and record the outcome."""
         if self.engine == "batch":
@@ -498,6 +532,8 @@ class HitlistService:
         else:
             daily = self._run_day_reference(day)
         self.history[day] = daily
+        for hook in self._publish_hooks:
+            hook(daily)
         return daily
 
     def _run_day_reference(self, day: int) -> DailyHitlist:

@@ -16,7 +16,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.addr.address import IPv6Address
-from repro.addr.batch import AddressBatch
+from repro.addr.batch import AddressBatch, readonly_view
 from repro.netmodel.internet import BatchProbeResult, SimulatedInternet
 from repro.netmodel.services import ALL_PROTOCOLS, Protocol
 from repro.probing.zmap import ScanResult, ZMapScanner
@@ -81,8 +81,13 @@ class BatchDailyScanResult:
 
     @property
     def responsive_matrix(self) -> np.ndarray:
-        """``matrix[i, j]``: did target *i* answer on ``protocols[j]``?"""
-        return self.result.responsive
+        """``matrix[i, j]``: did target *i* answer on ``protocols[j]``?
+
+        A read-only view: one day's published responsiveness is shared by
+        every consumer (longitudinal analysis, snapshots, experiments) and
+        must never be mutated in place.
+        """
+        return readonly_view(self.result.responsive)
 
     def responsive_mask(self, protocol: Protocol | None = None) -> np.ndarray:
         """Boolean responsiveness per target (any protocol, or one)."""

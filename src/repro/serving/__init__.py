@@ -1,0 +1,35 @@
+"""Hitlist-as-a-service: concurrent snapshot query/publish layer.
+
+The paper's hitlist is not a batch artefact but a service the measurement
+community queries continuously (Section 11).  This package provides the
+serving layer over the daily :class:`~repro.core.hitlist.HitlistService`:
+
+* :class:`HitlistSnapshot` -- an immutable, query-ready freeze of one
+  published day (read-only columnar arrays, prebuilt point/prefix/AS
+  indices),
+* :class:`HitlistServer` -- double-buffered copy-on-write publishing with
+  lock-free reads: queries run against the current snapshot while the next
+  day builds in the background and is swapped in atomically.
+"""
+
+from repro.serving.server import HitlistServer, NoPublishedSnapshot, ServingError
+from repro.serving.snapshot import (
+    ASAnswer,
+    HitlistSnapshot,
+    PointAnswer,
+    PrefixAnswer,
+    SnapshotDownload,
+    SubsetAnswer,
+)
+
+__all__ = [
+    "ASAnswer",
+    "HitlistServer",
+    "HitlistSnapshot",
+    "NoPublishedSnapshot",
+    "PointAnswer",
+    "PrefixAnswer",
+    "ServingError",
+    "SnapshotDownload",
+    "SubsetAnswer",
+]

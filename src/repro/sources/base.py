@@ -16,7 +16,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.addr.address import IPv6Address
-from repro.addr.batch import AddressBatch
+from repro.addr.batch import AddressBatch, readonly_view
 from repro.netmodel.internet import SimulatedInternet
 
 
@@ -128,7 +128,8 @@ class HitlistSource(abc.ABC):
         Rows are in record order (sorted by first-seen day, then address) and
         already deduplicated per source; this is the zero-object input the
         incremental hitlist merge consumes.  Built once and cached -- records
-        are immutable after construction.
+        are immutable after construction, and the returned arrays are
+        read-only views so a consumer cannot corrupt the shared cache.
         """
         if self._record_arrays is None:
             batch = AddressBatch.from_ints([r.address.value for r in self._records])
@@ -137,7 +138,7 @@ class HitlistSource(abc.ABC):
                 dtype=np.int64,
                 count=len(self._records),
             )
-            self._record_arrays = (batch, days)
+            self._record_arrays = (batch.readonly(), readonly_view(days))
         return self._record_arrays
 
     def snapshot(self, day: int | None = None) -> SourceSnapshot:

@@ -28,6 +28,27 @@ class TestParser:
         args = build_parser().parse_args(["run-all"])
         assert args.scale == "default"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.scenario == "baseline"
+        assert args.scale == "test"
+        assert args.days == 1
+        assert args.day is None
+
+    def test_query_requires_exactly_one_selector(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--address", "::1", "--asn", "64500"])
+
+    def test_query_parses_each_selector(self):
+        args = build_parser().parse_args(["query", "--prefix", "2001:db8::/32"])
+        assert args.prefix == "2001:db8::/32"
+        args = build_parser().parse_args(["query", "--asn", "64500", "--scale", "tiny"])
+        assert args.asn == 64500
+        assert args.scale == "tiny"
+
 
 class TestExecution:
     def test_list_prints_all_ids(self, capsys):
@@ -41,3 +62,22 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "table3" in out
         assert "2001:0db8:0407:8000" in out
+
+    def test_serve_publishes_consecutive_generations(self, capsys):
+        assert main(["serve", "--scale", "tiny", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "generation 1: day 25" in out
+        assert "generation 2: day 26" in out
+        assert "published generations: [1, 2]" in out
+
+    def test_query_point_miss_reports_every_protocol(self, capsys):
+        assert main(["query", "--scale", "tiny", "--address", "2001:db8::1"]) == 0
+        out = capsys.readouterr().out
+        assert "in hitlist: False" in out
+        assert "responsive on tcp443: False" in out
+
+    def test_query_rejects_unknown_engine(self, capsys):
+        assert main(["query", "--scale", "tiny", "--engine", "turbo", "--address", "::1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine" in err
+        assert "turbo" in err

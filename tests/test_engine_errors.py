@@ -75,3 +75,29 @@ class TestEntryPoints:
         with pytest.raises(ValueError) as excinfo:
             SlidingWindowMerger({0: APDResult(day=0)}, engine="quantum")
         assert_lists_synonyms(excinfo)
+
+
+class TestServingEntryPoints:
+    """The server's constructors reject bad engines/scenarios up front --
+    before building any substrate, and before anything is published."""
+
+    def test_server_from_scenario_unknown_engine(self):
+        from repro.serving import HitlistServer
+
+        with pytest.raises(ValueError) as excinfo:
+            HitlistServer.from_scenario("baseline", scale="tiny", engine="quantum")
+        assert_lists_synonyms(excinfo)
+
+    def test_server_from_scenario_unknown_scenario(self):
+        from repro.serving import HitlistServer
+
+        with pytest.raises(ValueError) as excinfo:
+            HitlistServer.from_scenario("atlantis", scale="tiny")
+        assert "atlantis" in str(excinfo.value)
+
+    def test_server_from_scenario_unknown_scale(self):
+        from repro.serving import HitlistServer
+
+        with pytest.raises(ValueError) as excinfo:
+            HitlistServer.from_scenario("baseline", scale="galactic")
+        assert "galactic" in str(excinfo.value)
