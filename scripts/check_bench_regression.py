@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark regressions recorded in BENCH_*.json history files.
+
+Each benchmark run appends one record to its ``BENCH_<name>.json`` history
+(see ``benchmarks/conftest.py``), so the repository carries its own
+performance timeline.  This script turns that timeline into a gate: for
+every higher-is-better metric (``speedup`` and any ``*_per_sec`` key) the
+newest record is compared against the **trailing median** of the prior
+records, and a drop beyond the threshold (default 30%) fails the run.
+
+The trailing median -- not the immediately preceding record -- is the
+baseline so a single noisy historic record cannot mask (or manufacture) a
+regression.  Files with too little history to form a stable baseline are
+skipped, not failed: a brand-new benchmark needs ``--min-history`` records
+(default 3, i.e. at least two baseline points) before the gate arms.
+
+Usage::
+
+    python scripts/check_bench_regression.py                # gate BENCH_*.json in repo root
+    python scripts/check_bench_regression.py BENCH_apd.json # gate specific files
+    python scripts/check_bench_regression.py --threshold 0.5 --min-history 5
+
+Exit codes: 0 = no regression, 1 = regression detected, 2 = usage error
+(unreadable/malformed history file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Iterator, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Metrics where larger is better; anything else in a record (latencies,
+#: raw seconds, metadata) is ignored.  ``throughput_dip`` ends in neither
+#: suffix and is a ratio with its own benchmark assertion, so it is not
+#: second-guessed here.
+HIGHER_IS_BETTER_KEYS = ("speedup",)
+HIGHER_IS_BETTER_SUFFIX = "_per_sec"
+
+
+class HistoryError(ValueError):
+    """A BENCH_*.json file is unreadable or not in the expected shape."""
+
+
+def gated_metrics(record: dict) -> dict[str, float]:
+    """The higher-is-better numeric metrics of one history record."""
+    out: dict[str, float] = {}
+    for key, value in record.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key in HIGHER_IS_BETTER_KEYS or key.endswith(HIGHER_IS_BETTER_SUFFIX):
+            out[key] = float(value)
+    return out
+
+
+def load_history(path: Path) -> tuple[str, list[dict]]:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise HistoryError(f"{path}: cannot read history: {exc}") from exc
+    history = data.get("history")
+    if not isinstance(history, list) or not all(isinstance(r, dict) for r in history):
+        raise HistoryError(f"{path}: missing or malformed 'history' list")
+    return str(data.get("benchmark", path.stem)), history
+
+
+def check_file(
+    path: Path, *, threshold: float, min_history: int
+) -> Iterator[tuple[str, str, bool]]:
+    """Yield ``(metric, message, is_regression)`` for one history file."""
+    name, history = load_history(path)
+    if len(history) < min_history:
+        yield (
+            "-",
+            f"{name}: only {len(history)} record(s), gate needs {min_history}; skipped",
+            False,
+        )
+        return
+    *baseline, newest = history
+    newest_metrics = gated_metrics(newest)
+    for metric, value in sorted(newest_metrics.items()):
+        prior = [
+            gated_metrics(rec)[metric] for rec in baseline if metric in gated_metrics(rec)
+        ]
+        if len(prior) < min_history - 1:
+            yield (metric, f"{name}.{metric}: too few baseline points; skipped", False)
+            continue
+        median = statistics.median(prior)
+        if median <= 0:
+            yield (metric, f"{name}.{metric}: non-positive baseline median; skipped", False)
+            continue
+        floor = median * (1.0 - threshold)
+        change = (value - median) / median
+        if value < floor:
+            yield (
+                metric,
+                f"{name}.{metric}: REGRESSION {value:.4g} vs trailing median "
+                f"{median:.4g} ({change:+.1%}, allowed floor {floor:.4g})",
+                True,
+            )
+        else:
+            yield (
+                metric,
+                f"{name}.{metric}: ok {value:.4g} vs trailing median "
+                f"{median:.4g} ({change:+.1%})",
+                False,
+            )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when the newest benchmark record regresses more than "
+        "--threshold below the trailing median of its history."
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="BENCH_*.json files to gate (default: BENCH_*.json in the repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="fractional drop from the trailing median that fails (default: 0.30)",
+    )
+    parser.add_argument(
+        "--min-history",
+        type=int,
+        default=3,
+        help="minimum records before the gate arms for a file (default: 3)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be in (0, 1)")
+    if args.min_history < 2:
+        parser.error("--min-history must be >= 2")
+    files = args.files or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not files:
+        print("check_bench_regression: no BENCH_*.json files found; nothing to gate")
+        return 0
+    regressions = 0
+    try:
+        for path in files:
+            for _metric, message, is_regression in check_file(
+                path, threshold=args.threshold, min_history=args.min_history
+            ):
+                print(message)
+                regressions += int(is_regression)
+    except HistoryError as exc:
+        print(f"check_bench_regression: error: {exc}", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"check_bench_regression: {regressions} regressed metric(s)")
+        return 1
+    print("check_bench_regression: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Entry point for reprolint without an installed package.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis_static`` from the
+repository root; exists so CI and pre-commit hooks can invoke the linter
+with one path-independent command:
+
+    python scripts/reprolint.py src/ scripts/ examples/
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis_static.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

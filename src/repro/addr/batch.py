@@ -27,7 +27,7 @@ implements a vectorised binary search over such pairs.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -104,6 +104,11 @@ class AddressBatch:
 
     __slots__ = ("hi", "lo")
 
+    #: Immutability contract, enforced statically by reprolint rule R2:
+    #: the limb arrays are bound once in ``__init__`` and never rebound or
+    #: mutated in place -- every operation returns a new batch or new arrays.
+    __frozen_arrays__ = ("hi", "lo")
+
     def __init__(self, hi: np.ndarray, lo: np.ndarray):
         hi = np.asarray(hi, dtype=np.uint64)
         lo = np.asarray(lo, dtype=np.uint64)
@@ -161,7 +166,7 @@ class AddressBatch:
     def __getitem__(self, index: int) -> IPv6Address:
         return IPv6Address((int(self.hi[index]) << 64) | int(self.lo[index]))
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[IPv6Address]:
         return iter(self.to_addresses())
 
     def __repr__(self) -> str:
@@ -431,6 +436,11 @@ class FlatLPM:
     """
 
     __slots__ = ("objects", "_starts_hi", "_starts_lo", "_values")
+
+    #: Immutability contract, enforced statically by reprolint rule R2: the
+    #: interval arrays are built once in ``__init__`` and then only read --
+    #: lookups are pure searchsorted probes over frozen columns.
+    __frozen_arrays__ = ("_starts_hi", "_starts_lo", "_values")
 
     def __init__(self, pairs: Iterable[tuple["IPv6Prefix", object]]):
         pairs = list(pairs)

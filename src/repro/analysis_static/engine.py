@@ -1,0 +1,294 @@
+"""The reprolint rule engine: registry, pragmas, dispatch and output.
+
+The engine is deliberately small: a *rule* is a class with an ``rule_id``
+and a ``check(source, context)`` generator over :class:`Finding` objects;
+rules register themselves via :func:`register_rule` at import time; and
+:func:`lint_paths` drives the whole pass -- discover files, parse once,
+run a cross-file collection pass (:class:`LintContext`), dispatch every
+rule on every file, and drop findings suppressed by pragmas.
+
+Pragma syntax (mirroring the ruff/pylint convention so editors highlight
+it, but namespaced so the two linters cannot fight over it):
+
+* ``# reprolint: disable=R1`` on the offending line suppresses the listed
+  rule(s) (comma-separated) for that line only,
+* ``# reprolint: disable-file=R1`` anywhere in the file suppresses the
+  listed rule(s) for the whole file,
+* ``disable=all`` / ``disable-file=all`` suppress every rule.
+
+Exit-code contract (enforced by :func:`repro.analysis_static.__main__.main`):
+0 = clean, 1 = findings, 2 = usage or parse error.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+#: ``# reprolint: disable=R1,R2`` / ``# reprolint: disable-file=R2``.
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def format_human(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+class SourceFile:
+    """One parsed module plus its pragma map."""
+
+    def __init__(self, path: Path, display_path: str, text: str, tree: ast.Module):
+        self.path = path
+        #: Path as reported in findings (relative to the lint root when possible).
+        self.display_path = display_path
+        self.text = text
+        self.tree = tree
+        self.line_disables: dict[int, set[str]] = {}
+        self.file_disables: set[str] = set()
+        self._parse_pragmas()
+
+    @classmethod
+    def load(cls, path: Path, display_path: str) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(path, display_path, text, tree)
+
+    def _parse_pragmas(self) -> None:
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            match = _PRAGMA_RE.search(line)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+            if match.group("kind") == "disable-file":
+                self.file_disables |= rules
+            else:
+                self.line_disables.setdefault(lineno, set()).update(rules)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Is *finding* silenced by a file- or line-level pragma?"""
+        if "all" in self.file_disables or finding.rule in self.file_disables:
+            return True
+        on_line = self.line_disables.get(finding.line, ())
+        return "all" in on_line or finding.rule in on_line
+
+
+@dataclass
+class LintContext:
+    """Cross-file state collected before any rule runs.
+
+    Rules are per-file, but two repo invariants need a whole-tree view: the
+    set of frozen-array attribute names (``__frozen_arrays__`` declarations
+    anywhere feed the "no store through a frozen attribute" heuristic in
+    every file) and the per-class guarded-attribute maps.
+    """
+
+    #: class name -> declared frozen array attribute names.
+    frozen_arrays: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: every declared frozen attribute name (any class, any file).
+    frozen_attr_names: set[str] = field(default_factory=set)
+    #: class name -> {guarded attribute -> lock attribute}.
+    guarded_by: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, sources: Sequence[SourceFile]) -> "LintContext":
+        context = cls()
+        for source in sources:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    context._collect_class(node)
+        return context
+
+    def _collect_class(self, node: ast.ClassDef) -> None:
+        for statement in node.body:
+            target = _class_level_assign_name(statement)
+            if target == "__frozen_arrays__":
+                names = _string_tuple(statement.value)
+                if names is not None:
+                    self.frozen_arrays[node.name] = names
+                    self.frozen_attr_names.update(names)
+            elif target == "_GUARDED_BY":
+                mapping = _string_dict(statement.value)
+                if mapping is not None:
+                    self.guarded_by[node.name] = mapping
+
+
+def _class_level_assign_name(statement: ast.stmt) -> str | None:
+    """Name of a simple class-level assignment (``NAME = value``), else None."""
+    if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+        target = statement.targets[0]
+        if isinstance(target, ast.Name):
+            return target.id
+    if isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+        return statement.target.id
+    return None
+
+
+def _string_tuple(value: ast.expr | None) -> tuple[str, ...] | None:
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        items = []
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            items.append(element.value)
+        return tuple(items)
+    return None
+
+
+def _string_dict(value: ast.expr | None) -> dict[str, str] | None:
+    if not isinstance(value, ast.Dict):
+        return None
+    mapping: dict[str, str] = {}
+    for key, val in zip(value.keys, value.values):
+        if not (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(val, ast.Constant)
+            and isinstance(val.value, str)
+        ):
+            return None
+        mapping[key.value] = val.value
+    return mapping
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set :attr:`rule_id` (the pragma/selection handle, e.g.
+    ``"R1"``), :attr:`name` and :attr:`description`, and implement
+    :meth:`check` as a generator of findings for one source file.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, source: SourceFile, context: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, source: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=source.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: rule id -> rule class, in registration order.
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id: {cls.rule_id}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+class LintUsageError(Exception):
+    """Bad invocation (unknown rule selection, missing path, parse failure)."""
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
+    """Every ``.py`` file under *paths* as ``(path, display_path)`` pairs."""
+    files: list[tuple[Path, str]] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise LintUsageError(f"no such path: {root}")
+        if root.is_file():
+            candidates = [root]
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            files.append((candidate, candidate.as_posix()))
+    return files
+
+
+def resolve_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the selected rules (all registered rules by default)."""
+    if select is None:
+        return [cls() for cls in RULE_REGISTRY.values()]
+    chosen: list[Rule] = []
+    for rule_id in select:
+        cls = RULE_REGISTRY.get(rule_id)
+        if cls is None:
+            raise LintUsageError(
+                f"unknown rule: {rule_id!r} (registered: {sorted(RULE_REGISTRY)})"
+            )
+        chosen.append(cls())
+    return chosen
+
+
+def lint_sources(
+    sources: Sequence[SourceFile], select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Run the (selected) rules over already-parsed sources."""
+    rules = resolve_rules(select)
+    context = LintContext.collect(sources)
+    findings: list[Finding] = []
+    for source in sources:
+        for rule in rules:
+            for finding in rule.check(source, context):
+                if not source.suppressed(finding):
+                    findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    on_parse_error: Callable[[Path, SyntaxError], None] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint every ``.py`` file under *paths*.
+
+    Returns ``(findings, files_checked)``.  Syntax errors raise
+    :class:`LintUsageError` unless *on_parse_error* is given (then the file
+    is skipped after the callback -- used by tests on deliberately broken
+    fixtures).
+    """
+    sources: list[SourceFile] = []
+    for path, display in discover_files(paths):
+        try:
+            sources.append(SourceFile.load(path, display))
+        except SyntaxError as exc:
+            if on_parse_error is None:
+                raise LintUsageError(f"cannot parse {display}: {exc}") from exc
+            on_parse_error(path, exc)
+    return lint_sources(sources, select), len(sources)

@@ -1,0 +1,219 @@
+"""R1 -- determinism: no unseeded RNGs, no global RNG state, no wall clock.
+
+The differential fuzz oracle (PR 5) asserts exact batch-vs-reference parity
+per seed; a single unseeded ``random.Random()`` or ``np.random.default_rng()``
+-- or any draw from the module-level ``random.*`` / legacy ``np.random.*``
+global state -- silently breaks that contract in whichever code path touches
+it first.  Wall-clock reads (``time.time``, ``datetime.now``/``utcnow``)
+inject the run's real time into simulated results, the classic source of
+vantage-dependent artefacts the source paper spends Section 5 debugging.
+
+The rule tracks import aliases per module, so ``import numpy as np`` /
+``from random import Random`` / ``from time import time`` are all seen.
+Wall-clock reads are allowed in CLI/benchmark paths
+(:data:`~repro.analysis_static.config.R1_WALLCLOCK_ALLOWED_PATH_PARTS`);
+seeded-RNG discipline applies everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis_static import config
+from repro.analysis_static.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    SourceFile,
+    register_rule,
+)
+
+
+class _ImportMap:
+    """Which local names are the random/numpy/time/datetime modules."""
+
+    def __init__(self, tree: ast.Module):
+        self.random_modules: set[str] = set()
+        self.numpy_modules: set[str] = set()
+        self.numpy_random_modules: set[str] = set()
+        self.time_modules: set[str] = set()
+        self.datetime_modules: set[str] = set()
+        self.datetime_classes: set[str] = set()
+        self.random_class_names: set[str] = set()
+        self.default_rng_names: set[str] = set()
+        self.time_func_names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_modules.add(local)
+                    elif alias.name == "numpy":
+                        self.numpy_modules.add(local)
+                    elif alias.name == "numpy.random":
+                        self.numpy_random_modules.add(alias.asname or "numpy")
+                    elif alias.name == "time":
+                        self.time_modules.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_modules.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if node.module == "random" and alias.name == "Random":
+                        self.random_class_names.add(local)
+                    elif node.module == "numpy.random" and alias.name == "default_rng":
+                        self.default_rng_names.add(local)
+                    elif node.module == "numpy" and alias.name == "random":
+                        self.numpy_random_modules.add(local)
+                    elif node.module == "time" and alias.name in config.R1_TIME_ATTRS:
+                        self.time_func_names.add(local)
+                    elif node.module == "datetime" and alias.name in ("datetime", "date"):
+                        self.datetime_classes.add(local)
+
+
+def _is_numpy_random(node: ast.expr, imports: _ImportMap) -> bool:
+    """Does *node* denote the ``numpy.random`` module?"""
+    if isinstance(node, ast.Name):
+        return node.id in imports.numpy_random_modules
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in imports.numpy_modules
+    )
+
+
+@register_rule
+class DeterminismRule(Rule):
+    rule_id = "R1"
+    name = "determinism"
+    description = (
+        "Random draws must come from explicitly seeded generators and "
+        "simulation code must not read the wall clock."
+    )
+
+    def check(self, source: SourceFile, context: LintContext) -> Iterator[Finding]:
+        imports = _ImportMap(source.tree)
+        wallclock_allowed = any(
+            part in source.display_path
+            for part in config.R1_WALLCLOCK_ALLOWED_PATH_PARTS
+        )
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node, imports)
+            elif isinstance(node, ast.Attribute) and not wallclock_allowed:
+                yield from self._check_wallclock(source, node, imports)
+            elif isinstance(node, ast.Name) and not wallclock_allowed:
+                if node.id in imports.time_func_names and isinstance(node.ctx, ast.Load):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"wall-clock read `{node.id}` (imported from time) in "
+                        "deterministic code; derive timestamps from the "
+                        "simulated day instead",
+                    )
+
+    # -- unseeded / global-state RNGs -----------------------------------
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call, imports: _ImportMap
+    ) -> Iterator[Finding]:
+        func = node.func
+        unseeded = not node.args and not node.keywords
+        if isinstance(func, ast.Name):
+            if func.id in imports.random_class_names and unseeded:
+                yield self.finding(
+                    source,
+                    node,
+                    "unseeded random.Random(); pass an explicit seed so runs "
+                    "are reproducible",
+                )
+            elif func.id in imports.default_rng_names and unseeded:
+                yield self.finding(
+                    source,
+                    node,
+                    "unseeded np.random.default_rng(); pass an explicit seed "
+                    "so runs are reproducible",
+                )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in imports.random_modules:
+            if func.attr == "Random":
+                if unseeded:
+                    yield self.finding(
+                        source,
+                        node,
+                        "unseeded random.Random(); pass an explicit seed so "
+                        "runs are reproducible",
+                    )
+            else:
+                yield self.finding(
+                    source,
+                    node,
+                    f"module-level random.{func.attr}() draws from the shared "
+                    "global RNG; use a seeded random.Random instance",
+                )
+            return
+        if _is_numpy_random(base, imports):
+            if func.attr == "default_rng":
+                if unseeded:
+                    yield self.finding(
+                        source,
+                        node,
+                        "unseeded np.random.default_rng(); pass an explicit "
+                        "seed so runs are reproducible",
+                    )
+            elif func.attr not in config.R1_NP_RANDOM_OK:
+                yield self.finding(
+                    source,
+                    node,
+                    f"legacy np.random.{func.attr}() uses the shared global "
+                    "RNG state; use a seeded np.random.default_rng(seed)",
+                )
+
+    # -- wall clock ------------------------------------------------------
+
+    def _check_wallclock(
+        self, source: SourceFile, node: ast.Attribute, imports: _ImportMap
+    ) -> Iterator[Finding]:
+        base = node.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id in imports.time_modules
+            and node.attr in config.R1_TIME_ATTRS
+        ):
+            yield self.finding(
+                source,
+                node,
+                f"wall-clock read time.{node.attr} in deterministic code; "
+                "derive timestamps from the simulated day instead",
+            )
+            return
+        if node.attr not in config.R1_DATETIME_ATTRS:
+            return
+        # datetime.now / date.today on the imported class ...
+        if isinstance(base, ast.Name) and base.id in imports.datetime_classes:
+            yield self.finding(
+                source,
+                node,
+                f"wall-clock read {base.id}.{node.attr} in deterministic "
+                "code; derive timestamps from the simulated day instead",
+            )
+            return
+        # ... or datetime.datetime.now / datetime.date.today on the module.
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr in ("datetime", "date")
+            and isinstance(base.value, ast.Name)
+            and base.value.id in imports.datetime_modules
+        ):
+            yield self.finding(
+                source,
+                node,
+                f"wall-clock read datetime.{base.attr}.{node.attr} in "
+                "deterministic code; derive timestamps from the simulated "
+                "day instead",
+            )

@@ -1,0 +1,112 @@
+"""R3 -- lock discipline: guarded attributes only under their declared lock.
+
+:class:`~repro.serving.HitlistServer` is safe because *every* touch of its
+publish-side state happens under ``_publish_lock`` and every stats counter
+under ``_stats_lock`` -- a discipline that, before this rule, only reviewer
+vigilance enforced.  A class opts in by declaring a ``_GUARDED_BY`` map::
+
+    class HitlistServer:
+        _GUARDED_BY = {
+            "_generation": "_publish_lock",
+            "_snapshots": "_publish_lock",
+            "_query_counts": "_stats_lock",
+        }
+
+Any lexical read or write of ``self.<attr>`` for a mapped attribute outside
+a ``with self.<that lock>:`` block (``__init__`` excepted: construction
+happens before the object is shared) is flagged.  The check is lexical by
+design -- helper methods that *require* a held lock should either take the
+lock re-entrantly (the RLock pattern the server uses) or carry a
+``# reprolint: disable=R3`` pragma documenting the transferred guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis_static.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    SourceFile,
+    register_rule,
+)
+
+
+def _with_locks(node: ast.With | ast.AsyncWith) -> set[str]:
+    """Lock attribute names acquired by ``with self.<lock>...:`` items."""
+    locks: set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        # Accept both `with self._lock:` and `with self._lock.acquire_shared():`
+        # shapes; only the plain attribute form is the declared discipline.
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            locks.add(expr.attr)
+    return locks
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    rule_id = "R3"
+    name = "lock-discipline"
+    description = (
+        "Attributes declared in a _GUARDED_BY class map may only be touched "
+        "inside a `with self.<declared lock>:` block."
+    )
+
+    def check(self, source: SourceFile, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name in context.guarded_by:
+                guarded = context.guarded_by[node.name]
+                for item in node.body:
+                    if (
+                        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and item.name != "__init__"
+                    ):
+                        for statement in item.body:
+                            yield from self._scan(
+                                source, node.name, guarded, statement, frozenset()
+                            )
+
+    def _scan(
+        self,
+        source: SourceFile,
+        class_name: str,
+        guarded: dict[str, str],
+        node: ast.AST,
+        held: frozenset[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held | _with_locks(node)
+            # The lock attribute itself is read in the header, legitimately.
+            for item in node.items:
+                if item.optional_vars is not None:
+                    yield from self._scan(
+                        source, class_name, guarded, item.optional_vars, held
+                    )
+            for child in node.body:
+                yield from self._scan(source, class_name, guarded, child, inner)
+            return
+        if isinstance(node, ast.Attribute):
+            lock = guarded.get(node.attr)
+            if (
+                lock is not None
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and lock not in held
+            ):
+                action = "write of" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read of"
+                yield self.finding(
+                    source,
+                    node,
+                    f"{action} guarded attribute self.{node.attr} outside "
+                    f"`with self.{lock}:` (declared in {class_name}._GUARDED_BY)",
+                )
+            # Still scan deeper: e.g. self._snapshots[self._generation].
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(source, class_name, guarded, child, held)

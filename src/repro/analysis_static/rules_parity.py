@@ -1,0 +1,212 @@
+"""R4 -- engine parity: every ``engine=`` entry point covers both families.
+
+Every vectorised subsystem ships a scalar reference twin, and the
+differential oracle only means something if both stay reachable through the
+same entry points.  A function or method taking an ``engine`` parameter
+must therefore *consume* it in one of the sanctioned ways:
+
+* normalise it via :func:`repro.core.engines.canonical_engine` (whose
+  error path lists every accepted synonym), or
+* delegate it verbatim (``engine=engine``) to another entry point, or
+* dispatch explicitly against string literals covering **both** families
+  (at least one fast name and one reference name).
+
+A parameter that is ignored, stored raw (``self.engine = engine`` without
+normalisation), or dispatched against only one family is flagged.  When a
+function does literal dispatch and raises its own unknown-engine error,
+that message must list every accepted synonym -- the user-facing contract
+``tests/test_engine_errors.py`` pins at runtime, checked statically here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis_static import config
+from repro.analysis_static.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    SourceFile,
+    register_rule,
+)
+
+
+def _has_engine_param(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = node.args
+    every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    return any(a.arg == "engine" for a in every)
+
+
+def _func_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _string_constants(expr: ast.expr) -> list[str] | None:
+    """String literals in a constant or tuple/set/list of constants."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return [expr.value]
+    if isinstance(expr, (ast.Tuple, ast.Set, ast.List)):
+        out: list[str] = []
+        for element in expr.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                out.append(element.value)
+            else:
+                return None
+        return out
+    return None
+
+
+class _EngineUse:
+    """How one function body consumes its ``engine`` parameter."""
+
+    def __init__(self) -> None:
+        self.canonical_call = False
+        self.delegated = False
+        self.literals: set[str] = set()
+        self.nonliteral_dispatch = False
+        self.raw_store: ast.AST | None = None
+        self.any_use = False
+
+
+def _analyse(node: ast.FunctionDef | ast.AsyncFunctionDef) -> _EngineUse:
+    use = _EngineUse()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "engine":
+            use.any_use = True
+        if isinstance(sub, ast.Call):
+            name = _func_name(sub.func)
+            if (
+                name == "canonical_engine"
+                and sub.args
+                and isinstance(sub.args[0], ast.Name)
+                and sub.args[0].id == "engine"
+            ):
+                use.canonical_call = True
+            for keyword in sub.keywords:
+                if (
+                    keyword.arg == "engine"
+                    and isinstance(keyword.value, ast.Name)
+                    and keyword.value.id == "engine"
+                ):
+                    use.delegated = True
+        elif isinstance(sub, ast.Compare):
+            sides = [sub.left] + list(sub.comparators)
+            if any(isinstance(s, ast.Name) and s.id == "engine" for s in sides):
+                matched = False
+                for side in sides:
+                    literals = _string_constants(side)
+                    if literals is not None:
+                        use.literals.update(literals)
+                        matched = True
+                if not matched:
+                    # e.g. `engine in FAST_ENGINE_NAMES`: resolvable only at
+                    # runtime; treated as covering (no false positives).
+                    use.nonliteral_dispatch = True
+        elif isinstance(sub, ast.Assign):
+            if (
+                isinstance(sub.value, ast.Name)
+                and sub.value.id == "engine"
+                and any(isinstance(t, ast.Attribute) for t in sub.targets)
+            ):
+                use.raw_store = sub
+    return use
+
+
+def _raise_messages(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[tuple[ast.Raise, str]]:
+    """(raise node, concatenated constant text) for every raise in *node*."""
+    out: list[tuple[ast.Raise, str]] = []
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Raise) or sub.exc is None:
+            continue
+        fragments: list[str] = []
+        for part in ast.walk(sub.exc):
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                fragments.append(part.value)
+        out.append((sub, " ".join(fragments)))
+    return out
+
+
+@register_rule
+class EngineParityRule(Rule):
+    rule_id = "R4"
+    name = "engine-parity"
+    description = (
+        "Functions taking engine= must normalise via canonical_engine, "
+        "delegate engine=engine, or dispatch over both engine families; "
+        "unknown-engine errors must list every accepted synonym."
+    )
+
+    def check(self, source: SourceFile, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _has_engine_param(node):
+                    yield from self._check_function(source, node)
+
+    def _check_function(
+        self, source: SourceFile, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        use = _analyse(node)
+        sanctioned = use.canonical_call or use.delegated or use.nonliteral_dispatch
+        if not sanctioned:
+            if use.raw_store is not None and not use.literals:
+                yield self.finding(
+                    source,
+                    use.raw_store,
+                    f"{node.name}() stores its engine parameter without "
+                    "normalising it; pass it through canonical_engine() so "
+                    "every synonym is accepted and typos fail loudly",
+                )
+                return
+            if use.literals:
+                fast = use.literals & config.R4_FAST_NAMES
+                reference = use.literals & config.R4_REFERENCE_NAMES
+                if not fast or not reference:
+                    missing = "reference/scalar" if fast else "batch/vectorized"
+                    yield self.finding(
+                        source,
+                        node,
+                        f"{node.name}() dispatches engine= against "
+                        f"{sorted(use.literals)} only; the {missing} family "
+                        "has no sibling dispatch (every engine pair must "
+                        "keep both engines reachable)",
+                    )
+            elif use.any_use:
+                yield self.finding(
+                    source,
+                    node,
+                    f"{node.name}() takes engine= but neither normalises it "
+                    "(canonical_engine), delegates it (engine=engine), nor "
+                    "dispatches over both engine families",
+                )
+            else:
+                yield self.finding(
+                    source,
+                    node,
+                    f"{node.name}() takes engine= but never uses it; dead "
+                    "parameters hide missing reference-engine dispatch",
+                )
+        if use.literals and not use.canonical_call:
+            yield from self._check_error_paths(source, node)
+
+    def _check_error_paths(
+        self, source: SourceFile, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for raise_node, text in _raise_messages(node):
+            lowered = text.lower()
+            if "engine" not in lowered:
+                continue
+            missing = [s for s in config.R4_ALL_SYNONYMS if s not in lowered]
+            if missing:
+                yield self.finding(
+                    source,
+                    raise_node,
+                    f"unknown-engine error in {node.name}() does not list "
+                    f"accepted synonyms {missing}; either raise via "
+                    "canonical_engine() or enumerate every synonym",
+                )

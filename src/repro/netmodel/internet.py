@@ -31,7 +31,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from repro.addr.address import IPv6Address, parse_address
-from repro.addr.batch import AddressBatch, FlatLPM, find128
+from repro.addr.batch import AddressBatch, FlatLPM, find128, readonly_view
 from repro.addr.generate import random_address_in_prefix
 from repro.addr.prefix import IPv6Prefix
 from repro.addr.trie import PrefixTrie
@@ -121,9 +121,18 @@ class BatchProbeResult:
     targets: AddressBatch
     responsive: np.ndarray
 
+    #: Immutability contract, enforced statically by reprolint rule R2: the
+    #: responsiveness matrix is shared with every downstream consumer (APD,
+    #: scans, snapshots) and must never be written after construction.
+    __frozen_arrays__ = ("responsive",)
+
     def column(self, protocol: Protocol) -> np.ndarray:
-        """Boolean responsiveness of every target on one protocol."""
-        return self.responsive[:, self.protocols.index(protocol)]
+        """Boolean responsiveness of every target on one protocol.
+
+        A read-only view: the column shares memory with the day's published
+        responsiveness matrix, which concurrent consumers must never mutate.
+        """
+        return readonly_view(self.responsive[:, self.protocols.index(protocol)])
 
     @property
     def responsive_any(self) -> np.ndarray:

@@ -44,6 +44,8 @@ from repro.serving.snapshot import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.addr.address import IPv6Address
+    from repro.addr.prefix import IPv6Prefix
     from repro.core.hitlist import DailyHitlist
     from repro.netmodel.internet import SimulatedInternet
 
@@ -65,6 +67,17 @@ class HitlistServer:
     frozen snapshot swapped in.  Queries are answered lock-free against the
     published snapshot (only a small stats counter takes a lock).
     """
+
+    #: Lock discipline, enforced statically by reprolint rule R3: these
+    #: attributes may only be touched inside ``with self.<lock>:`` blocks.
+    #: ``_current`` is deliberately absent -- it is the one lock-free cell,
+    #: a single atomic reference that readers capture without locking.
+    _GUARDED_BY = {
+        "_generation": "_publish_lock",
+        "_snapshots": "_publish_lock",
+        "_executor": "_publish_lock",
+        "_query_counts": "_stats_lock",
+    }
 
     def __init__(
         self,
@@ -154,24 +167,26 @@ class HitlistServer:
         batch engine's non-decreasing-day contract.  Readers keep querying
         the current snapshot throughout.
         """
-        if self._executor is None:
-            with self._publish_lock:
-                if self._executor is None:
-                    self._executor = ThreadPoolExecutor(
-                        max_workers=1, thread_name_prefix="hitlist-publish"
-                    )
-        return self._executor.submit(self.publish_day, day)
+        with self._publish_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="hitlist-publish"
+                )
+            executor = self._executor
+        return executor.submit(self.publish_day, day)
 
     def close(self) -> None:
         """Drain the background build lane (if one was started)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        with self._publish_lock:
+            executor = self._executor
             self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "HitlistServer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- read side (lock-free against publishes) ---------------------------
@@ -195,14 +210,16 @@ class HitlistServer:
     @property
     def published_generations(self) -> list[int]:
         """All published generation numbers (requires ``keep_history``)."""
-        return sorted(self._snapshots)
+        with self._publish_lock:
+            return sorted(self._snapshots)
 
     def snapshot(self, generation: int | None = None) -> HitlistSnapshot:
         """A published snapshot: the current one, or a historic generation."""
         if generation is None:
             return self.current
         try:
-            return self._snapshots[generation]
+            with self._publish_lock:
+                return self._snapshots[generation]
         except KeyError:
             raise ServingError(
                 f"generation {generation} is not in the published history "
@@ -213,17 +230,29 @@ class HitlistServer:
         with self._stats_lock:
             self._query_counts[kind] += 1
 
-    def point_query(self, address) -> PointAnswer:
+    def point_query(self, address: "IPv6Address | int | str") -> PointAnswer:
         """Point lookup against the current snapshot."""
         snapshot = self.current
         self._count("point")
         return snapshot.point_query(address)
 
-    def prefix_query(self, prefix, **kwargs) -> PrefixAnswer:
+    def prefix_query(
+        self,
+        prefix: "IPv6Prefix | str",
+        *,
+        include_aliased: bool = False,
+        responsive_only: bool = False,
+        protocol: Protocol | None = None,
+    ) -> PrefixAnswer:
         """Prefix subset against the current snapshot (unaliased by default)."""
         snapshot = self.current
         self._count("prefix")
-        return snapshot.prefix_query(prefix, **kwargs)
+        return snapshot.prefix_query(
+            prefix,
+            include_aliased=include_aliased,
+            responsive_only=responsive_only,
+            protocol=protocol,
+        )
 
     def as_query(self, asn: int) -> ASAnswer:
         """Per-AS subset against the current snapshot."""
@@ -241,9 +270,11 @@ class HitlistServer:
         """Served-query counters and publish state (for ops/benchmarks)."""
         with self._stats_lock:
             counts = dict(self._query_counts)
+        with self._publish_lock:
+            published_days = sorted(s.day for s in self._snapshots.values())
         return {
             "generation": self.generation,
-            "published_days": sorted(s.day for s in self._snapshots.values()),
+            "published_days": published_days,
             "queries": counts,
             "queries_total": sum(counts.values()),
         }

@@ -162,6 +162,21 @@ class HitlistSnapshot:
         "_asn_order",
     )
 
+    #: Immutability contract, enforced statically by reprolint rule R2: these
+    #: array slots are written once in ``__init__`` and never rebound or
+    #: mutated afterwards -- concurrent readers hold this object lock-free.
+    __frozen_arrays__ = (
+        "_values",
+        "_masks",
+        "_first",
+        "_responsive",
+        "_unaliased",
+        "_apd_verdicts",
+        "_asn",
+        "_asn_sorted",
+        "_asn_order",
+    )
+
     def __init__(
         self,
         *,
