@@ -19,6 +19,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.exec import SHARD_KEYS, STORAGE_KINDS, ExecutionPolicy, resolve_policy
 from repro.experiments import EXPERIMENTS, run_all, run_experiment
 from repro.experiments.context import (
     DEFAULT_EXPERIMENT_CONFIG,
@@ -29,6 +30,39 @@ from repro.experiments.context import (
 from repro.scenarios import SCALE_TIERS, get_scenario, iter_scenarios, scenario_names
 
 _SCALES = {"default": DEFAULT_EXPERIMENT_CONFIG, "test": TEST_EXPERIMENT_CONFIG}
+
+
+def _add_policy_options(parser: argparse.ArgumentParser) -> None:
+    """The execution-policy flags, shared by every pipeline-running command."""
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="engine family: batch/vectorized or reference/scalar (default: batch)",
+    )
+    parser.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="stream hot paths in chunks of this many rows (out-of-core tier)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan shards over this many worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--storage",
+        choices=sorted(STORAGE_KINDS),
+        default="ram",
+        help="chunk scratch storage: ram or memmap (default: ram)",
+    )
+    parser.add_argument(
+        "--shard-by",
+        choices=sorted(SHARD_KEYS),
+        default="prefix",
+        help="worker shard key: prefix-interval boundaries or raw rows",
+    )
 
 
 def _add_config_options(parser: argparse.ArgumentParser) -> None:
@@ -47,6 +81,7 @@ def _add_config_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="run inside a named scenario preset (composed with --scale)",
     )
+    _add_policy_options(parser)
 
 
 def resolve_config(scale: str, scenario: str | None) -> ExperimentConfig:
@@ -82,11 +117,7 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
         default="test",
         help="scenario scale tier (default: test)",
     )
-    parser.add_argument(
-        "--engine",
-        default="batch",
-        help="hitlist engine: batch/vectorized or reference/scalar",
-    )
+    _add_policy_options(parser)
     parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
     parser.add_argument(
         "--day",
@@ -96,12 +127,25 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _build_policy(args: argparse.Namespace) -> ExecutionPolicy:
+    """The execution policy described by the CLI policy flags."""
+    return resolve_policy(
+        engine=ExecutionPolicy(
+            engine=args.engine if args.engine is not None else "batch",
+            chunk_rows=args.chunk_rows,
+            workers=args.workers,
+            storage=args.storage,
+            shard_by=args.shard_by,
+        )
+    )
+
+
 def _build_server(args: argparse.Namespace):
     """A server over the requested scenario, plus the first day to publish."""
     from repro.serving import HitlistServer
 
     server = HitlistServer.from_scenario(
-        args.scenario, scale=args.scale, seed=args.seed, engine=args.engine
+        args.scenario, scale=args.scale, seed=args.seed, engine=_build_policy(args)
     )
     first_day = args.day
     if first_day is None:
@@ -218,16 +262,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
     try:
         config = resolve_config(args.scale, args.scenario)
+        ctx = ExperimentContext(config, engine=_build_policy(args))
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
     if args.command == "run":
-        outcome = run_experiment(args.experiment, config=config)
+        outcome = run_experiment(args.experiment, ctx=ctx)
         print(f"== {outcome.experiment_id} ==")
         print(outcome.report)
         return 0
     # run-all
-    ctx = ExperimentContext(config)
     outcomes = run_all(ctx)
     for experiment_id, outcome in outcomes.items():
         print(f"\n== {experiment_id} ==")

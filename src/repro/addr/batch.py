@@ -27,6 +27,7 @@ implements a vectorised binary search over such pairs.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -147,6 +148,41 @@ class AddressBatch:
             np.concatenate([b.hi for b in batches]),
             np.concatenate([b.lo for b in batches]),
         )
+
+    # -- out-of-core storage ----------------------------------------------
+
+    def to_memmap(self, path: "str | os.PathLike[str]") -> str:
+        """Write the batch to *path* as a shape ``(2, n)`` uint64 ``.npy`` file.
+
+        Row 0 holds ``hi``, row 1 ``lo``.  The file is a plain ``.npy`` so it
+        round-trips through :meth:`from_memmap` (zero-copy, read-only mapping)
+        as well as ordinary ``np.load``.  Returns the written path.
+        """
+        out = np.lib.format.open_memmap(
+            os.fspath(path), mode="w+", dtype=np.uint64, shape=(2, len(self))
+        )
+        out[0] = self.hi
+        out[1] = self.lo
+        out.flush()
+        return os.fspath(path)
+
+    @classmethod
+    def from_memmap(cls, path: "str | os.PathLike[str]") -> "AddressBatch":
+        """Open a batch written by :meth:`to_memmap` as a read-only mapping.
+
+        The returned batch's ``hi``/``lo`` are views over the file mapping --
+        no rows are materialised in RAM until touched, which is what lets the
+        streaming kernels in :mod:`repro.exec` bound their working set by
+        ``chunk_rows`` instead of the corpus size.
+        """
+        mapped = np.lib.format.open_memmap(os.fspath(path), mode="r")
+        if mapped.ndim != 2 or mapped.shape[0] != 2 or mapped.dtype != np.uint64:
+            raise ValueError(
+                f"not an AddressBatch memmap: {os.fspath(path)!r} has "
+                f"dtype={mapped.dtype}, shape={mapped.shape} "
+                "(expected uint64, shape (2, n))"
+            )
+        return cls(mapped[0], mapped[1])
 
     # -- conversion --------------------------------------------------------
 

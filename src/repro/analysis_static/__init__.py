@@ -16,10 +16,14 @@ ordinary linters cannot see:
   the fast and the reference engine family (via
   :func:`repro.core.engines.canonical_engine` or explicit dispatch), and
   unknown-engine errors list every accepted synonym.
+* **R5 policy resolution** -- functions accepting an
+  :class:`~repro.exec.ExecutionPolicy` route it through
+  :func:`repro.exec.resolve_policy` instead of ad-hoc string compares on the
+  raw ``.engine`` attribute, so synonym normalisation cannot be bypassed.
 
 This package is a small rule-engine framework over Python :mod:`ast`
 (per-file visitor dispatch, a rule registry, ``# reprolint: disable=RULE``
-pragmas, JSON and human output, an exit-code contract) with those four rule
+pragmas, JSON and human output, an exit-code contract) with those rule
 families implemented on top.  Run it as ``python -m repro.analysis_static
 src/`` or via ``scripts/reprolint.py``; CI fails on any new finding.
 """
@@ -39,6 +43,7 @@ from repro.analysis_static import rules_determinism  # noqa: F401
 from repro.analysis_static import rules_immutability  # noqa: F401
 from repro.analysis_static import rules_locks  # noqa: F401
 from repro.analysis_static import rules_parity  # noqa: F401
+from repro.analysis_static import rules_policy  # noqa: F401
 
 __all__ = [
     "Finding",

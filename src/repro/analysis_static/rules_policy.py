@@ -1,0 +1,144 @@
+"""R5 -- policy resolution: ExecutionPolicy parameters go through resolve_policy.
+
+The execution tier accepts an :class:`~repro.exec.ExecutionPolicy` everywhere
+``engine=`` is accepted, and :func:`repro.exec.resolve_policy` is the single
+coercion point: it normalises engine synonyms, emits the one deprecation
+warning for bare strings, and keeps the unknown-engine error listing every
+synonym.  A function that takes a policy and then string-compares its raw
+``.engine`` attribute has silently rebuilt that dispatch without the
+normalisation -- ``ExecutionPolicy(engine="vectorised")`` would sail past a
+``policy.engine == "vectorized"`` check straight into the wrong branch.
+
+The rule: inside a function that accepts a policy parameter (annotated with
+``ExecutionPolicy`` or named ``policy``), any comparison of that parameter's
+``.engine`` attribute against string literals is flagged *unless* the
+function first routes the parameter through ``resolve_policy()``.  The
+sanctioned idiom rebinds the parameter (or a local) to the resolved policy::
+
+    def run(data, policy: "ExecutionPolicy | str | None" = None):
+        policy = resolve_policy(engine=policy)     # canonical coercion
+        if policy.engine == "vectorized":          # now safe: normalised
+            ...
+
+Comparisons against non-literals (``policy.engine == canonical``) and
+attribute reads that never feed a literal compare are left alone, as is
+``self.engine`` -- instance state is assigned from an already-resolved
+policy and R4 covers the entry points that set it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis_static.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    SourceFile,
+    register_rule,
+)
+
+
+def _policy_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter names that carry an ExecutionPolicy (by annotation or name)."""
+    params: set[str] = set()
+    args = node.args
+    every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    for arg in every:
+        if arg.arg in ("self", "cls"):
+            continue
+        if arg.arg == "policy":
+            params.add(arg.arg)
+            continue
+        if arg.annotation is not None:
+            # Annotations may be quoted strings or plain expressions; unparse
+            # covers both spellings uniformly.
+            text = ast.unparse(arg.annotation)
+            if "ExecutionPolicy" in text:
+                params.add(arg.arg)
+    return params
+
+
+def _resolved_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, params: set[str]
+) -> set[str]:
+    """The policy parameters routed through a ``resolve_policy(...)`` call."""
+    resolved: set[str] = set()
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+        if name != "resolve_policy":
+            continue
+        referenced = sub.args + [kw.value for kw in sub.keywords]
+        for value in referenced:
+            if isinstance(value, ast.Name) and value.id in params:
+                resolved.add(value.id)
+    return resolved
+
+
+def _engine_attr_of(expr: ast.expr, params: set[str]) -> str | None:
+    """The parameter name if *expr* is ``<param>.engine``, else None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and expr.attr == "engine"
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in params
+    ):
+        return expr.value.id
+    return None
+
+
+def _has_string_literal(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return True
+    if isinstance(expr, (ast.Tuple, ast.Set, ast.List)):
+        return any(_has_string_literal(e) for e in expr.elts)
+    return False
+
+
+@register_rule
+class PolicyResolutionRule(Rule):
+    rule_id = "R5"
+    name = "policy-resolution"
+    description = (
+        "Functions accepting an ExecutionPolicy must route it through "
+        "resolve_policy(); comparing the raw parameter's .engine against "
+        "string literals skips synonym normalisation."
+    )
+
+    def check(self, source: SourceFile, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(source, node)
+
+    def _check_function(
+        self, source: SourceFile, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        params = _policy_params(node)
+        if not params:
+            return
+        unresolved = params - _resolved_params(node, params)
+        if not unresolved:
+            return
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Compare):
+                continue
+            sides = [sub.left] + list(sub.comparators)
+            compared = {
+                name
+                for side in sides
+                if (name := _engine_attr_of(side, unresolved)) is not None
+            }
+            if compared and any(_has_string_literal(side) for side in sides):
+                for name in sorted(compared):
+                    yield self.finding(
+                        source,
+                        sub,
+                        f"{node.name}() string-compares {name}.engine without "
+                        f"routing {name} through resolve_policy(); ad-hoc "
+                        "dispatch on a raw policy skips engine-synonym "
+                        "normalisation",
+                    )

@@ -23,8 +23,18 @@ from repro.addr.address import IPv6Address
 from repro.addr.batch import AddressBatch, FlatLPM, batch_fanout_targets
 from repro.addr.generate import FANOUT, fanout_targets
 from repro.addr.prefix import IPv6Prefix
-from repro.core.engines import canonical_engine
 from repro.addr.trie import PrefixTrie
+from repro.exec import (
+    ExecutionPolicy,
+    FanoutPlan,
+    fanout_rand_chunk,
+    map_shards,
+    plan_chunk_spans,
+    plan_chunk_spans_within,
+    plan_worker_spans,
+    resolve_policy,
+    scratch_memmap,
+)
 from repro.netmodel.internet import SimulatedInternet
 from repro.netmodel.services import Protocol
 
@@ -302,14 +312,16 @@ class AliasedPrefixDetector:
         internet: SimulatedInternet,
         config: APDConfig = APDConfig(),
         seed: int = 0,
-        engine: str = "batch",
+        engine: "ExecutionPolicy | str | None" = None,
     ):
-        engine = canonical_engine(engine, "batch", "scalar")
+        policy = resolve_policy(engine=engine, fast="batch", reference="scalar")
         if config.fanout != FANOUT:
             raise ValueError("the paper's APD uses a fixed fan-out of 16 probes")
         self.internet = internet
         self.config = config
-        self.engine = engine
+        self.policy = policy
+        self.engine = policy.engine
+        self._seed = seed
         self._rng = random.Random(seed)
         self._nprng = np.random.default_rng(seed)
 
@@ -390,6 +402,8 @@ class AliasedPrefixDetector:
         prefix_list = list(dict.fromkeys(prefixes))
         if self.engine == "scalar":
             return {p: self._probe_prefix_scalar(p, day) for p in prefix_list}
+        if self.policy.is_streaming and prefix_list:
+            return self._probe_prefixes_streaming(prefix_list, day)
         targets, prefix_index, _branch = batch_fanout_targets(prefix_list, self._nprng)
         result = self.internet.probe_batch(
             targets, self.config.protocols, day, rng=self._nprng
@@ -405,6 +419,95 @@ class AliasedPrefixDetector:
                 day,
                 AddressBatch(targets.hi[start:end], targets.lo[start:end]),
                 result.responsive[start:end],
+                protocols,
+            )
+        return outcomes
+
+    def _probe_prefixes_streaming(
+        self, prefix_list: list[IPv6Prefix], day: int
+    ) -> dict[IPv6Prefix, PrefixProbeOutcome]:
+        """Out-of-core / multi-core twin of the batch probing path.
+
+        Fan-out targets are generated and probed ``chunk_rows`` rows at a
+        time (optionally sharded over forked workers and stored in unlinked
+        memmap scratch), yet bit-identical to the one-shot batch path: the
+        random host bits of any row span are recovered from the pre-draw
+        generator state via :func:`fanout_rand_chunk`, and the generator is
+        advanced past the whole conceptual draw afterwards so later calls
+        stay stream-aligned with the plain engine.  Probe-side randomness is
+        per-chunk (``default_rng((seed, day, chunk_start))``): with
+        stochastic anomalies disabled ``probe_batch`` draws nothing and
+        verdicts match the plain engine exactly; with them enabled, results
+        are reproducible for a fixed ``chunk_rows`` and shard plan.
+        """
+        policy = self.policy
+        plan = FanoutPlan(prefix_list)
+        total = plan.total
+        protocols = self.config.protocols
+        chunk_rows = policy.effective_chunk_rows or max(total, 1)
+        if policy.storage == "memmap" and total:
+            targets_hi = scratch_memmap((total,), np.uint64)
+            targets_lo = scratch_memmap((total,), np.uint64)
+            responsive = scratch_memmap((total, len(protocols)), np.bool_)
+        else:
+            targets_hi = np.empty(total, dtype=np.uint64)
+            targets_lo = np.empty(total, dtype=np.uint64)
+            responsive = np.zeros((total, len(protocols)), dtype=bool)
+        state = self._nprng.bit_generator.state
+        internet = self.internet
+        seed = self._seed
+
+        def probe_chunk(span: tuple[int, int]):
+            s, e = span
+            rand_hi, rand_lo = fanout_rand_chunk(state, s, e, total)
+            chunk, _, _ = plan.chunk(s, e, rand_hi, rand_lo)
+            result = internet.probe_batch(
+                chunk, protocols, day, rng=np.random.default_rng((seed, day, s))
+            )
+            return chunk, result.responsive
+
+        if policy.workers > 1:
+            if policy.shard_by == "prefix":
+                spans = plan.worker_spans(policy.workers)
+            else:
+                spans = plan_worker_spans(total, policy.workers, chunk_rows)
+
+            def run_span(span: tuple[int, int]):
+                partials = []
+                for bounds in plan_chunk_spans_within(span[0], span[1], chunk_rows):
+                    chunk, resp = probe_chunk(bounds)
+                    partials.append((bounds[0], chunk.hi, chunk.lo, resp))
+                return partials
+
+            # Fixed span order; the parent writes each partial back at its
+            # global offset, so assembly is order-independent of worker
+            # scheduling.
+            for partials in map_shards(run_span, spans, policy.workers):
+                for s, hi, lo, resp in partials:
+                    e = s + hi.shape[0]
+                    targets_hi[s:e] = hi
+                    targets_lo[s:e] = lo
+                    responsive[s:e] = resp
+        else:
+            # Single worker: stream chunk by chunk straight into the stores;
+            # with memmap storage the resident set stays O(chunk_rows).
+            for s, e in plan_chunk_spans(total, chunk_rows):
+                chunk, resp = probe_chunk((s, e))
+                targets_hi[s:e] = chunk.hi
+                targets_lo[s:e] = chunk.lo
+                responsive[s:e] = resp
+        # Consume the conceptual single-pass draw (one step per target and
+        # limb) so subsequent fan-outs match the plain engine's stream.
+        self._nprng.bit_generator.advance(2 * total)
+        outcomes: dict[IPv6Prefix, PrefixProbeOutcome] = {}
+        for i, prefix in enumerate(prefix_list):
+            start = int(plan.starts[i])
+            end = start + int(plan.counts[i])
+            outcomes[prefix] = PrefixProbeOutcome.from_matrix(
+                prefix,
+                day,
+                AddressBatch(targets_hi[start:end], targets_lo[start:end]),
+                responsive[start:end],
                 protocols,
             )
         return outcomes

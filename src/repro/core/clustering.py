@@ -21,6 +21,7 @@ labels, SSE and centroids.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -29,7 +30,6 @@ import numpy as np
 
 from repro.addr.batch import AddressBatch
 from repro.addr.prefix import IPv6Prefix, group_by_prefix
-from repro.core.engines import canonical_engine
 from repro.core.entropy import (
     FULL_SPAN,
     MIN_ADDRESSES,
@@ -38,6 +38,7 @@ from repro.core.entropy import (
     grouped_nybble_entropies,
     median_profile,
 )
+from repro.exec import ExecutionPolicy, lloyd_chunked, resolve_policy
 
 @dataclass(slots=True)
 class KMeansResult:
@@ -180,19 +181,37 @@ def kmeans(
     seed: int = 0,
     max_iterations: int = 200,
     restarts: int = 5,
-    engine: str = "vectorized",
+    engine: "ExecutionPolicy | str | None" = None,
 ) -> KMeansResult:
     """Lloyd's k-means with k-means++ seeding and several restarts.
 
     Returns the restart with the lowest sum of squared errors.  ``engine``
-    selects the Lloyd implementation (see the module docstring); both consume
-    the identical seeded rng stream and agree on the result.
+    accepts an :class:`~repro.exec.ExecutionPolicy` (or a deprecated engine
+    string) selecting the Lloyd implementation; both engines consume the
+    identical seeded rng stream and agree on the result.  A streaming policy
+    on the vectorized engine chunks/shards the label-assignment step while
+    staying bit-identical (see :func:`repro.exec.lloyd_chunked`).
     """
     if data.ndim != 2 or data.shape[0] == 0:
         raise ValueError("data must be a non-empty 2-D array")
     if not 1 <= k <= data.shape[0]:
         raise ValueError(f"k={k} out of range for {data.shape[0]} points")
-    lloyd = _LLOYD_ENGINES[canonical_engine(engine, "vectorized", "reference")]
+    policy = resolve_policy(engine=engine, fast="vectorized", reference="reference")
+    if policy.engine == "vectorized" and policy.is_streaming:
+        chunk_rows = policy.effective_chunk_rows or data.shape[0]
+
+        def lloyd(data, centroids, k, max_iterations):
+            return lloyd_chunked(
+                data,
+                centroids,
+                k,
+                max_iterations,
+                chunk_rows=chunk_rows,
+                workers=policy.workers,
+            )
+
+    else:
+        lloyd = _LLOYD_ENGINES[policy.engine]
     rng = random.Random(seed)
     best: KMeansResult | None = None
     for _ in range(restarts):
@@ -212,11 +231,12 @@ def sse_curve(
     data: np.ndarray,
     k_values: Sequence[int],
     seed: int = 0,
-    engine: str = "vectorized",
+    engine: "ExecutionPolicy | str | None" = None,
 ) -> dict[int, float]:
     """Sum of squared errors for each candidate k (Eq. 6)."""
+    policy = resolve_policy(engine=engine, fast="vectorized", reference="reference")
     return {
-        k: kmeans(data, k, seed=seed, engine=engine).sse
+        k: kmeans(data, k, seed=seed, engine=policy).sse
         for k in k_values
         if k <= data.shape[0]
     }
@@ -315,17 +335,24 @@ class EntropyClustering:
         min_addresses: int = MIN_ADDRESSES,
         candidate_ks: Sequence[int] = tuple(range(1, 21)),
         seed: int = 0,
-        engine: str = "batch",
+        engine: "ExecutionPolicy | str | None" = None,
     ):
         self.span = span
         self.min_addresses = min_addresses
         self.candidate_ks = tuple(candidate_ks)
         self.seed = seed
-        self.engine = canonical_engine(engine, "batch", "reference")
+        self.policy = resolve_policy(engine=engine, fast="batch", reference="reference")
+        self.engine = self.policy.engine
 
     @property
-    def _kmeans_engine(self) -> str:
-        return "vectorized" if self.engine == "batch" else "reference"
+    def _kmeans_engine(self) -> ExecutionPolicy:
+        """The clustering policy translated to the k-means engine pair.
+
+        Chunking/worker/storage knobs carry over so a streaming clustering
+        policy streams its k-means too.
+        """
+        name = "vectorized" if self.engine == "batch" else "reference"
+        return dataclasses.replace(self.policy, engine=name)
 
     # -- fingerprint extraction ------------------------------------------------
 

@@ -39,7 +39,7 @@ from repro.addr.batch import (
 from repro.addr.prefix import IPv6Prefix
 from repro.core.apd import AliasedPrefixDetector, APDConfig, APDResult, PrefixProbeOutcome
 from repro.core.bias import CoverageStats, coverage_stats
-from repro.core.engines import canonical_engine
+from repro.exec import ExecutionPolicy, resolve_policy
 from repro.netmodel.internet import SimulatedInternet
 from repro.netmodel.services import ALL_PROTOCOLS, Protocol
 from repro.probing.scheduler import BatchDailyScanResult, DailyScanResult, ScanScheduler
@@ -459,13 +459,14 @@ class HitlistService:
         apd_config: APDConfig = APDConfig(),
         protocols: Sequence[Protocol] = ALL_PROTOCOLS,
         seed: int = 0,
-        engine: str = "batch",
+        engine: "ExecutionPolicy | str | None" = None,
     ):
         self.internet = internet
         self.assembly = assembly
         self.apd_config = apd_config
         self.protocols = tuple(protocols)
-        self.engine = canonical_engine(engine, "batch", "reference")
+        self.policy = resolve_policy(engine=engine, fast="batch", reference="reference")
+        self.engine = self.policy.engine
         self._seed = seed
         self.history: dict[int, DailyHitlist] = {}
         #: Per-day number of candidate prefixes actually (re-)probed.
@@ -486,30 +487,28 @@ class HitlistService:
         scale: str | None = None,
         anomalies: str | None = None,
         seed: int | None = None,
-        engine: str = "batch",
+        engine: "ExecutionPolicy | str | None" = None,
         protocols: Sequence[Protocol] = ALL_PROTOCOLS,
     ) -> "HitlistService":
         """A service over a named scenario preset (see :mod:`repro.scenarios`).
 
-        Builds the scenario's simulated Internet and source assembly (shared
-        wiring: :meth:`Scenario.build_substrate`), then wires the service
-        with the scenario's APD floor.  ``scale`` and ``anomalies`` compose
-        the named tiers on top of the preset.  Service days share the
-        sources' run-up timeline: run days at or after the scenario's
-        ``runup_days`` to see the full hitlist input.
+        Delegates to :func:`repro.scenarios.build` (the one construction
+        path shared by every scenario consumer), which wires the scenario's
+        simulated Internet, source assembly and APD floor.  ``scale`` and
+        ``anomalies`` compose the named tiers on top of the preset.  Service
+        days share the sources' run-up timeline: run days at or after the
+        scenario's ``runup_days`` to see the full hitlist input.
         """
-        from repro.scenarios import as_scenario
+        from repro.scenarios import build
 
-        resolved = as_scenario(scenario, scale=scale, anomalies=anomalies)
-        config = resolved.experiment_config(seed=seed)
-        internet, assembly = resolved.build_substrate(seed=seed)
-        return cls(
-            internet,
-            assembly,
-            apd_config=APDConfig(min_targets_per_prefix=config.apd_min_targets),
+        return build(
+            "service",
+            scenario,
+            scale=scale,
+            anomalies=anomalies,
+            seed=seed,
+            policy=resolve_policy(engine=engine),
             protocols=protocols,
-            seed=config.seed,
-            engine=engine,
         )
 
     # -- daily loop -------------------------------------------------------------
@@ -576,7 +575,10 @@ class HitlistService:
         self.apd_probe_counts[day] = len(to_probe)
         if to_probe:
             detector = AliasedPrefixDetector(
-                self.internet, self.apd_config, seed=self._seed ^ (day * 0x45D9F3B)
+                self.internet,
+                self.apd_config,
+                seed=self._seed ^ (day * 0x45D9F3B),
+                engine=self.policy,
             )
             self._outcome_cache.update(detector.probe_prefixes(to_probe, day))
         apd_result = APDResult(day=day)

@@ -29,7 +29,46 @@ import numpy as np
 from repro.addr.generate import FANOUT
 from repro.addr.prefix import IPv6Prefix
 from repro.core.apd import APDResult
-from repro.core.engines import canonical_engine
+from repro.exec import (
+    ExecutionPolicy,
+    map_shards,
+    plan_chunk_spans,
+    plan_worker_spans,
+    resolve_policy,
+)
+
+
+def window_verdict_block(
+    masks: np.ndarray,
+    expected: np.ndarray,
+    present: np.ndarray,
+    days: Sequence[int],
+    window: int,
+) -> np.ndarray:
+    """Windowed aliased verdicts for a block of prefix rows.
+
+    The row-independent core of the vectorized sweep: every prefix row is
+    classified from its own ``(day)`` columns only, so computing the matrix
+    in row blocks (or shards) yields exactly the whole-matrix result --
+    integer bit-ORs and counts, no floating point to reassociate.
+    """
+    column_of = {d: j for j, d in enumerate(days)}
+    acc_masks = np.zeros_like(masks)
+    acc_expected = np.zeros_like(expected)
+    found = np.zeros_like(present)
+    for j, day in enumerate(days):
+        # Most recent day first, exactly like _expected_targets.
+        for offset in range(window + 1):
+            src = column_of.get(day - offset)
+            if src is None:
+                continue
+            acc_masks[:, j] |= masks[:, src]
+            take = ~found[:, j] & present[:, src]
+            acc_expected[take, j] = expected[take, src]
+            found[:, j] |= present[:, src]
+    acc_expected[~found] = FANOUT
+    responsive = np.bitwise_count(acc_masks).astype(np.int64)
+    return responsive >= acc_expected
 
 
 @dataclass(slots=True)
@@ -45,13 +84,18 @@ class WindowStats:
 class SlidingWindowMerger:
     """Merge daily APD outcomes over a trailing window of days."""
 
-    def __init__(self, daily_results: Mapping[int, APDResult], engine: str = "vectorized"):
+    def __init__(
+        self,
+        daily_results: Mapping[int, APDResult],
+        engine: "ExecutionPolicy | str | None" = None,
+    ):
         if not daily_results:
             raise ValueError("at least one daily APD result is required")
-        engine = canonical_engine(engine, "vectorized", "scalar")
+        policy = resolve_policy(engine=engine, fast="vectorized", reference="scalar")
         self._daily = dict(sorted(daily_results.items()))
         self._days = list(self._daily)
-        self.engine = engine
+        self.policy = policy
+        self.engine = policy.engine
         self._matrices: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._prefixes: list[IPv6Prefix] | None = None
         self._verdict_cache: dict[int, np.ndarray] = {}
@@ -169,25 +213,47 @@ class SlidingWindowMerger:
         if cached is not None:
             return cached
         masks, expected, present = self._ensure_matrices()
-        column_of = {d: j for j, d in enumerate(self._days)}
-        acc_masks = np.zeros_like(masks)
-        acc_expected = np.zeros_like(expected)
-        found = np.zeros_like(present)
-        for j, day in enumerate(self._days):
-            # Most recent day first, exactly like _expected_targets.
-            for offset in range(window + 1):
-                src = column_of.get(day - offset)
-                if src is None:
-                    continue
-                acc_masks[:, j] |= masks[:, src]
-                take = ~found[:, j] & present[:, src]
-                acc_expected[take, j] = expected[take, src]
-                found[:, j] |= present[:, src]
-        acc_expected[~found] = FANOUT
-        responsive = np.bitwise_count(acc_masks).astype(np.int64)
-        verdicts = responsive >= acc_expected
+        if self.policy.is_streaming and masks.shape[0]:
+            verdicts = self._windowed_verdicts_streaming(
+                masks, expected, present, window
+            )
+        else:
+            verdicts = window_verdict_block(
+                masks, expected, present, self._days, window
+            )
         self._verdict_cache[window] = verdicts
         return verdicts
+
+    def _windowed_verdicts_streaming(
+        self,
+        masks: np.ndarray,
+        expected: np.ndarray,
+        present: np.ndarray,
+        window: int,
+    ) -> np.ndarray:
+        """Chunked/sharded sweep: :func:`window_verdict_block` over row spans.
+
+        The block kernel is row-independent integer work, so any chunking or
+        sharding reproduces the whole-matrix verdicts bit for bit; spans are
+        merged back in fixed order.
+        """
+        days = self._days
+        chunk_rows = self.policy.effective_chunk_rows or masks.shape[0]
+
+        def run_span(span: tuple[int, int]) -> np.ndarray:
+            s, e = span
+            return window_verdict_block(
+                masks[s:e], expected[s:e], present[s:e], days, window
+            )
+
+        if self.policy.workers > 1:
+            spans = plan_worker_spans(masks.shape[0], self.policy.workers, chunk_rows)
+            parts = map_shards(run_span, spans, self.policy.workers)
+        else:
+            parts = [
+                run_span(span) for span in plan_chunk_spans(masks.shape[0], chunk_rows)
+            ]
+        return np.concatenate(parts)
 
     # -- Table 4 ------------------------------------------------------------------
 

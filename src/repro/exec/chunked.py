@@ -1,0 +1,277 @@
+"""Out-of-core streaming kernels for the hot paths.
+
+Chunked twins of the three dominant computations -- APD fan-out probing,
+k-means label assignment and the sliding-window sweep -- that never
+materialise more than ``chunk_rows`` rows of working set at once, over
+either RAM or memory-mapped (:func:`scratch_memmap`,
+:meth:`~repro.addr.batch.AddressBatch.from_memmap`) columns.
+
+The load-bearing piece is :class:`FanoutPlan` + :func:`fanout_rand_chunk`:
+:func:`repro.addr.batch.batch_fanout_targets` draws one full-range uint64
+per target for the high limb and then one per target for the low limb, and a
+full-range draw consumes exactly one PCG64 step -- so the random host bits of
+target rows ``[start, end)`` can be regenerated for *any* chunking by
+advancing a copy of the generator state ``start`` (hi) and ``total + start``
+(lo) steps.  Chunked fan-out is therefore bit-identical to the one-shot
+batch path, not merely "statistically equivalent".
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.addr.address import BITS, LO_MASK
+from repro.addr.batch import U64_MAX, AddressBatch, _shl64, _shr64
+from repro.exec.shard import (
+    map_shards,
+    plan_chunk_spans,
+    plan_chunk_spans_within,
+    plan_worker_spans,
+    snap_spans_to_boundaries,
+)
+
+
+def scratch_memmap(shape: "tuple[int, ...]", dtype: "np.dtype | type") -> np.ndarray:
+    """An anonymous disk-backed scratch array (memmap over an unlinked file).
+
+    The backing file is deleted immediately after mapping: the mapping stays
+    valid for the array's lifetime, the kernel reclaims the blocks when the
+    last reference drops, and nothing can leak a stray temp file.  Pages are
+    written back under memory pressure instead of occupying RSS -- this is
+    what bounds the streaming paths' resident set by ``chunk_rows``.
+    """
+    fd, path = tempfile.mkstemp(prefix="repro-exec-", suffix=".npy")
+    os.close(fd)
+    try:
+        out = np.lib.format.open_memmap(path, mode="w+", dtype=dtype, shape=shape)
+    finally:
+        os.unlink(path)
+    return out
+
+
+def fanout_rand_chunk(
+    state: dict, start: int, end: int, total: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raw random host-bit draws for fan-out target rows ``[start, end)``.
+
+    *state* is the ``bit_generator.state`` of the detector's generator as it
+    stood before the (conceptual) single-pass draw of *total* targets.
+    Returns the exact uint64 values rows ``[start, end)`` would have received
+    from that pass: the hi stream occupies PCG64 steps ``[0, total)`` and the
+    lo stream steps ``[total, 2 * total)``, each full-range draw consuming
+    exactly one step.
+    """
+    if state.get("bit_generator") != "PCG64":
+        raise TypeError(
+            "chunked fan-out requires a PCG64 bit generator (numpy's "
+            f"default_rng), got {state.get('bit_generator')!r}"
+        )
+    count = end - start
+    hi_bits = np.random.PCG64(0)
+    hi_bits.state = state
+    hi_bits.advance(start)
+    rand_hi = np.random.Generator(hi_bits).integers(
+        0, U64_MAX, size=count, dtype=np.uint64, endpoint=True
+    )
+    lo_bits = np.random.PCG64(0)
+    lo_bits.state = state
+    lo_bits.advance(total + start)
+    rand_lo = np.random.Generator(lo_bits).integers(
+        0, U64_MAX, size=count, dtype=np.uint64, endpoint=True
+    )
+    return rand_hi, rand_lo
+
+
+class FanoutPlan:
+    """Row layout of an APD fan-out, materialisable one row span at a time.
+
+    Precomputes the per-prefix geometry of
+    :func:`repro.addr.batch.batch_fanout_targets` (network limbs, fan-out
+    counts, first-row offsets) without generating any targets; :meth:`chunk`
+    then reproduces exactly the target rows ``[start, end)`` of the one-shot
+    batch -- same integer math, same masks, with the random host bits handed
+    in from :func:`fanout_rand_chunk`.
+    """
+
+    __slots__ = (
+        "prefixes",
+        "net_hi",
+        "net_lo",
+        "sub_lengths",
+        "counts",
+        "starts",
+        "total",
+    )
+
+    def __init__(self, prefixes):
+        prefixes = list(prefixes)
+        num = len(prefixes)
+        self.prefixes = prefixes
+        self.net_hi = np.fromiter((p.network >> 64 for p in prefixes), np.uint64, num)
+        self.net_lo = np.fromiter(
+            (p.network & LO_MASK for p in prefixes), np.uint64, num
+        )
+        lengths = np.fromiter((p.length for p in prefixes), np.int64, num)
+        self.sub_lengths = np.minimum(lengths + 4, BITS)
+        self.counts = (1 << (self.sub_lengths - lengths)).astype(np.int64)
+        self.starts = np.cumsum(self.counts) - self.counts
+        self.total = int(self.counts.sum())
+
+    def chunk(
+        self, start: int, end: int, rand_hi: np.ndarray, rand_lo: np.ndarray
+    ) -> tuple[AddressBatch, np.ndarray, np.ndarray]:
+        """Target rows ``[start, end)``: ``(targets, prefix_index, branch)``."""
+        rows = np.arange(start, end, dtype=np.int64)
+        prefix_index = np.searchsorted(self.starts, rows, side="right") - 1
+        branch = rows - self.starts[prefix_index]
+        shift = (BITS - self.sub_lengths)[prefix_index]
+        b = branch.astype(np.uint64)
+        hi_part = np.where(shift >= 64, _shl64(b, shift - 64), _shr64(b, 64 - shift))
+        lo_part = np.where(shift >= 64, np.uint64(0), _shl64(b, shift))
+        mask_hi = np.where(
+            shift > 64, _shl64(np.uint64(1), shift - 64) - np.uint64(1), np.uint64(0)
+        )
+        mask_lo = np.where(
+            shift >= 64, U64_MAX, _shl64(np.uint64(1), shift) - np.uint64(1)
+        )
+        target_hi = self.net_hi[prefix_index] | hi_part | (rand_hi & mask_hi)
+        target_lo = self.net_lo[prefix_index] | lo_part | (rand_lo & mask_lo)
+        return AddressBatch(target_hi, target_lo), prefix_index, branch
+
+    def worker_spans(self, workers: int) -> list[tuple[int, int]]:
+        """Per-worker row spans cut only on prefix fan-out boundaries.
+
+        A prefix's targets never straddle two shards, so per-shard outcome
+        assembly stays a plain slice.  This is the ``shard_by="prefix"``
+        cutter; ``shard_by="rows"`` uses chunk-grid spans instead.
+        """
+        return snap_spans_to_boundaries(self.total, workers, self.starts.tolist())
+
+
+def chunked_probe_batch(
+    internet,
+    targets: AddressBatch,
+    protocols,
+    day: int = 0,
+    *,
+    chunk_rows: int,
+    workers: int = 1,
+    seed: int = 0,
+    out: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Streaming :meth:`SimulatedInternet.probe_batch` over an address batch.
+
+    Probes ``chunk_rows`` targets at a time (sharded over *workers* forked
+    processes when asked) and fills a ``(len(targets), len(protocols))``
+    responsiveness matrix -- pass a memmap as *out* to keep the result
+    off-heap too.  Each chunk draws from ``default_rng((seed, day, start))``
+    with *start* the chunk's global row offset, so results are reproducible
+    for a fixed ``chunk_rows`` independent of the worker count; with
+    stochastic anomalies disabled ``probe_batch`` consumes no randomness and
+    the matrix is bit-identical to the unchunked call.
+    """
+    n = len(targets)
+    protocols = tuple(protocols)
+    if out is None:
+        out = np.zeros((n, len(protocols)), dtype=bool)
+
+    def run_span(span):
+        partials = []
+        for s, e in plan_chunk_spans_within(span[0], span[1], chunk_rows):
+            chunk = AddressBatch(targets.hi[s:e], targets.lo[s:e])
+            result = internet.probe_batch(
+                chunk, protocols, day, rng=np.random.default_rng((seed, day, s))
+            )
+            partials.append((s, result.responsive))
+        return partials
+
+    if workers > 1 and n:
+        spans = plan_worker_spans(n, workers, chunk_rows)
+        for partials in map_shards(run_span, spans, workers):
+            for s, responsive in partials:
+                out[s : s + responsive.shape[0]] = responsive
+    else:
+        for s, e in plan_chunk_spans(n, chunk_rows):
+            chunk = AddressBatch(targets.hi[s:e], targets.lo[s:e])
+            result = internet.probe_batch(
+                chunk, protocols, day, rng=np.random.default_rng((seed, day, s))
+            )
+            out[s:e] = result.responsive
+    return out
+
+
+def kmeans_assign_block(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid labels for a row block.
+
+    The exact per-row expression of ``_lloyd_vectorized`` -- one broadcast
+    ``(x - c)^2`` reduction and an argmin -- so labels computed block-wise
+    are bit-identical to the whole-array assignment for any block split.
+    """
+    distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    return np.argmin(distances, axis=1)
+
+
+def kmeans_assign(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    chunk_rows: int,
+    workers: int = 1,
+) -> np.ndarray:
+    """Chunked/sharded nearest-centroid assignment (row-exact, any split)."""
+    n = data.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if workers > 1:
+        spans = plan_worker_spans(n, workers, chunk_rows)
+        parts = map_shards(
+            lambda span: kmeans_assign_block(data[span[0] : span[1]], centroids),
+            spans,
+            workers,
+        )
+    else:
+        parts = [
+            kmeans_assign_block(data[s:e], centroids)
+            for s, e in plan_chunk_spans(n, chunk_rows)
+        ]
+    return np.concatenate(parts)
+
+
+def lloyd_chunked(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    k: int,
+    max_iterations: int,
+    *,
+    chunk_rows: int,
+    workers: int = 1,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Lloyd's loop with chunked/sharded label assignment.
+
+    Only the assignment step (the O(n * k * dims) term) is chunked and
+    sharded; the centroid update stays one full ``np.add.at`` scatter in the
+    parent, applied in global row order.  Both halves are therefore
+    bit-identical to ``_lloyd_vectorized`` -- sharding never reassociates a
+    floating-point reduction.
+    """
+    n, dims = data.shape
+    labels = np.zeros(n, dtype=int)
+    centroids = centroids.astype(np.float64, copy=True)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new_labels = kmeans_assign(
+            data, centroids, chunk_rows=chunk_rows, workers=workers
+        )
+        if iterations > 1 and np.array_equal(new_labels, labels):
+            labels = new_labels
+            break
+        labels = new_labels
+        sums = np.zeros((k, dims), dtype=np.float64)
+        np.add.at(sums, labels, data)
+        counts = np.bincount(labels, minlength=k)
+        nonempty = counts > 0
+        centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+    return labels, centroids, iterations

@@ -1,0 +1,135 @@
+"""The unified execution policy: one object selecting *how* an engine runs.
+
+Every vectorised subsystem historically took a bare ``engine="batch"`` string.
+That spelling selects an implementation but cannot say anything about *scale*:
+chunk sizes for out-of-core streaming, worker counts for shard-parallel
+execution, or whether batch columns live in RAM or behind a memory-mapped
+file.  :class:`ExecutionPolicy` packages all of it into one frozen value that
+is accepted everywhere ``engine=`` is accepted today, and
+:func:`resolve_policy` is the single canonical coercion point:
+
+* ``None`` resolves to the caller's fast engine with in-RAM, single-worker,
+  unchunked execution -- exactly the historical default.
+* An :class:`ExecutionPolicy` passes through with its engine name normalised
+  to the caller's canonical pair (any synonym from
+  :mod:`repro.core.engines` is accepted, unknown names raise the same
+  every-synonym-listing error as always).
+* A bare string remains supported as a deprecated spelling: it resolves to a
+  plain in-RAM policy and emits a :class:`DeprecationWarning` -- this function
+  is the one place in the tree where that deprecation lives.
+
+Policies are frozen and hashable, so they can ride inside scenario caches and
+hypothesis examples just like :class:`~repro.scenarios.Scenario`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+
+#: Accepted backing stores for streamed batch columns.
+STORAGE_KINDS = ("ram", "memmap")
+
+#: Accepted shard keys for multi-worker fan-out.
+SHARD_KEYS = ("prefix", "rows")
+
+#: Chunk size used when a policy requests sharding or memmap storage without
+#: pinning ``chunk_rows`` explicitly.
+DEFAULT_CHUNK_ROWS = 65_536
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionPolicy:
+    """How an engine executes: implementation, chunking, workers, storage.
+
+    ``engine`` names the implementation family (any synonym from
+    :mod:`repro.core.engines`); the remaining fields only apply to the fast
+    columnar engines:
+
+    * ``chunk_rows`` -- rows materialised per streaming step (``None`` keeps
+      the historical whole-batch-at-once behaviour),
+    * ``workers`` -- processes to shard the work over (1 = in-process),
+    * ``storage`` -- ``"ram"`` or ``"memmap"`` backing for streamed columns,
+    * ``shard_by`` -- ``"prefix"`` cuts shards on FlatLPM disjoint-interval
+      boundaries; ``"rows"`` cuts plain contiguous row ranges.
+    """
+
+    engine: str = "batch"
+    chunk_rows: int | None = None
+    workers: int = 1
+    storage: str = "ram"
+    shard_by: str = "prefix"
+
+    def __post_init__(self) -> None:
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be positive, got {self.chunk_rows}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.storage not in STORAGE_KINDS:
+            raise ValueError(
+                f"unknown storage: {self.storage!r} (expected one of {list(STORAGE_KINDS)})"
+            )
+        if self.shard_by not in SHARD_KEYS:
+            raise ValueError(
+                f"unknown shard_by: {self.shard_by!r} (expected one of {list(SHARD_KEYS)})"
+            )
+
+    @property
+    def is_streaming(self) -> bool:
+        """Does this policy engage the out-of-core / multi-core tier?
+
+        True when any knob departs from the plain in-RAM single-pass default;
+        the fast engines then route through the chunked/sharded kernels in
+        :mod:`repro.exec` instead of the one-shot batch path.
+        """
+        return (
+            self.chunk_rows is not None
+            or self.workers > 1
+            or self.storage == "memmap"
+        )
+
+    @property
+    def effective_chunk_rows(self) -> int | None:
+        """``chunk_rows``, defaulted when streaming is implied another way."""
+        if self.chunk_rows is not None:
+            return self.chunk_rows
+        if self.is_streaming:
+            return DEFAULT_CHUNK_ROWS
+        return None
+
+
+def resolve_policy(
+    engine: "ExecutionPolicy | str | None" = None,
+    *,
+    fast: str = "batch",
+    reference: str = "reference",
+) -> ExecutionPolicy:
+    """Coerce an ``engine=`` argument into a canonical :class:`ExecutionPolicy`.
+
+    The one resolution path shared by every entry point: ``fast`` and
+    ``reference`` are the calling layer's canonical engine names (exactly as
+    for :func:`repro.core.engines.canonical_engine`).  ``None`` means "the
+    default fast engine, plain in-RAM execution"; a policy passes through
+    with its engine name normalised; a bare string is the deprecated legacy
+    spelling and resolves to a plain policy after a :class:`DeprecationWarning`.
+    """
+    # Imported lazily: repro.core's vectorised modules themselves import
+    # repro.exec at module level, so a top-level import here would be circular.
+    from repro.core.engines import canonical_engine
+
+    if engine is None:
+        return ExecutionPolicy(engine=fast)
+    if isinstance(engine, ExecutionPolicy):
+        name = canonical_engine(engine.engine, fast, reference)
+        if name == engine.engine:
+            return engine
+        return dataclasses.replace(engine, engine=name)
+    warnings.warn(
+        "bare engine strings are deprecated; pass "
+        "repro.exec.ExecutionPolicy(engine=...) (or omit the argument for "
+        "the default fast engine). Bare strings remain supported.",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return ExecutionPolicy(engine=canonical_engine(engine, fast, reference))

@@ -19,6 +19,7 @@ from repro.addr.address import IPv6Address
 from repro.addr.batch import AddressBatch
 from repro.core.apd import AliasedPrefixDetector, APDConfig, APDResult
 from repro.core.hitlist import Hitlist
+from repro.exec import ExecutionPolicy, resolve_policy
 from repro.netmodel.config import InternetConfig
 from repro.netmodel.internet import SimulatedInternet
 from repro.netmodel.services import ALL_PROTOCOLS, Protocol
@@ -94,8 +95,13 @@ TEST_EXPERIMENT_CONFIG = ExperimentConfig(
 class ExperimentContext:
     """Lazily built, cached pipeline artefacts shared by all experiments."""
 
-    def __init__(self, config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG):
+    def __init__(
+        self,
+        config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG,
+        engine: "ExecutionPolicy | str | None" = None,
+    ):
         self.config = config
+        self.policy = resolve_policy(engine=engine, fast="batch", reference="reference")
 
     @classmethod
     def from_scenario(
@@ -105,16 +111,20 @@ class ExperimentContext:
         scale: str | None = None,
         anomalies: str | None = None,
         seed: int | None = None,
+        engine: "ExecutionPolicy | str | None" = None,
     ) -> "ExperimentContext":
         """Context for a named scenario preset (see :mod:`repro.scenarios`).
 
         ``scale`` / ``anomalies`` name a scale tier / anomaly mix to compose
-        on top of the preset; ``seed`` overrides the scenario seed.
+        on top of the preset; ``seed`` overrides the scenario seed; ``engine``
+        an :class:`~repro.exec.ExecutionPolicy` for the pipeline hot paths.
         """
-        from repro.scenarios import as_scenario
+        from repro.scenarios import build
 
-        resolved = as_scenario(scenario, scale=scale, anomalies=anomalies)
-        return cls(resolved.experiment_config(seed=seed))
+        return build(
+            "context", scenario, scale=scale, anomalies=anomalies, seed=seed,
+            policy=resolve_policy(engine=engine),
+        )
 
     # -- substrate -----------------------------------------------------------------
 
@@ -147,7 +157,12 @@ class ExperimentContext:
     @cached_property
     def apd_result(self) -> APDResult:
         """Day-0 multi-level APD over the full hitlist."""
-        detector = AliasedPrefixDetector(self.internet, self.apd_config, seed=self.config.seed ^ 0xA9D)
+        detector = AliasedPrefixDetector(
+            self.internet,
+            self.apd_config,
+            seed=self.config.seed ^ 0xA9D,
+            engine=self.policy,
+        )
         return detector.run(self.hitlist.addresses, day=0)
 
     @cached_property

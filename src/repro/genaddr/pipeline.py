@@ -43,7 +43,7 @@ import numpy as np
 from repro.addr.address import IPv6Address
 from repro.addr.batch import AddressBatch, union_sorted
 from repro.addr.generate import dedupe, sample_capped, sample_capped_batch
-from repro.core.engines import canonical_engine
+from repro.exec import ExecutionPolicy, resolve_policy
 from repro.genaddr.entropy_ip import EntropyIPGenerator, EntropyIPModel
 from repro.genaddr.sixgen import SixGenGenerator
 from repro.netmodel.internet import BatchProbeResult, SimulatedInternet
@@ -271,14 +271,15 @@ class GenerationPipeline:
         generation_budget_per_as: int = 2_000,
         generated_cap_per_as: int = 100_000,
         seed: int = 0,
-        engine: str = "batch",
+        engine: "ExecutionPolicy | str | None" = None,
     ):
         self.internet = internet
         self.min_seeds_per_as = min_seeds_per_as
         self.seed_cap_per_as = seed_cap_per_as
         self.generation_budget_per_as = generation_budget_per_as
         self.generated_cap_per_as = generated_cap_per_as
-        self.engine = canonical_engine(engine, "batch", "reference")
+        self.policy = resolve_policy(engine=engine, fast="batch", reference="reference")
+        self.engine = self.policy.engine
         self._rng = random.Random(seed)
 
     @classmethod
@@ -289,20 +290,25 @@ class GenerationPipeline:
         scale: str | None = None,
         anomalies: str | None = None,
         seed: int | None = None,
-        engine: str = "batch",
+        engine: "ExecutionPolicy | str | None" = None,
         **kwargs,
     ) -> "GenerationPipeline":
         """A pipeline over a named scenario preset's simulated Internet.
 
-        ``scale`` / ``anomalies`` compose the named tiers on top of the
-        preset; remaining keyword arguments go to the constructor.
+        Delegates to :func:`repro.scenarios.build`; ``scale`` / ``anomalies``
+        compose the named tiers on top of the preset and remaining keyword
+        arguments go to the constructor.
         """
-        from repro.scenarios import as_scenario
+        from repro.scenarios import build
 
-        resolved = as_scenario(scenario, scale=scale, anomalies=anomalies)
-        config = resolved.experiment_config(seed=seed)
-        return cls(
-            resolved.build_internet(seed=seed), seed=config.seed, engine=engine, **kwargs
+        return build(
+            "pipeline",
+            scenario,
+            scale=scale,
+            anomalies=anomalies,
+            seed=seed,
+            policy=resolve_policy(engine=engine),
+            **kwargs,
         )
 
     # -- seed preparation ------------------------------------------------------------
@@ -405,7 +411,7 @@ class GenerationPipeline:
             budget = self.generation_budget_per_as
             entropy_model = EntropyIPModel(seeds)
             entropy_addresses = EntropyIPGenerator(entropy_model).generate(budget)
-            sixgen = SixGenGenerator(seeds, seed=sixgen_seed, engine="reference")
+            sixgen = SixGenGenerator(seeds, seed=sixgen_seed, engine=self.policy)
             sixgen_addresses = sixgen.generate(budget)
             for tool, addresses in zip(TOOLS, (entropy_addresses, sixgen_addresses)):
                 capped = sample_capped(addresses, self.generated_cap_per_as, self._rng)
@@ -460,7 +466,7 @@ class GenerationPipeline:
             budget = self.generation_budget_per_as
             entropy_model = EntropyIPModel(seed_batch)
             entropy_batch = EntropyIPGenerator(entropy_model).generate_batch(budget)
-            sixgen = SixGenGenerator(seed_batch, seed=sixgen_seed, engine="batch")
+            sixgen = SixGenGenerator(seed_batch, seed=sixgen_seed, engine=self.policy)
             sixgen_batch = sixgen.generate_batch(budget)
             for tool, generated in zip(TOOLS, (entropy_batch, sixgen_batch)):
                 capped = sample_capped_batch(generated, self.generated_cap_per_as, self._rng)

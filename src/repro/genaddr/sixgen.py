@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.addr.address import HEX_ALPHABET, IPv6Address, LO_MASK, NYBBLES
 from repro.addr.batch import AddressBatch, find128, union_sorted
-from repro.core.engines import canonical_engine
+from repro.exec import ExecutionPolicy, resolve_policy
 
 #: Bit masks of the 16 nybble values, for unpacking range bitmasks.
 _BIT_COLUMNS = np.uint16(1) << np.arange(16, dtype=np.uint16)
@@ -177,9 +177,10 @@ class SixGenGenerator:
         max_cluster_size: int = 2**20,
         max_clusters: int = 256,
         seed: int = 0,
-        engine: str = "batch",
+        engine: "ExecutionPolicy | str | None" = None,
     ):
-        self.engine = canonical_engine(engine, "batch", "reference")
+        self.policy = resolve_policy(engine=engine, fast="batch", reference="reference")
+        self.engine = self.policy.engine
         self.max_cluster_size = max_cluster_size
         self._rng = random.Random(seed)
         batch = (

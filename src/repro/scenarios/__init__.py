@@ -22,6 +22,7 @@ from repro.scenarios.registry import (
     scenario_names,
 )
 from repro.scenarios import presets  # noqa: F401  (registers the built-ins)
+from repro.scenarios.build import BUILD_TARGETS, build
 from repro.scenarios.differential import (
     ENGINE_PAIRS,
     FUZZ_KNOB_RANGES,
@@ -40,6 +41,8 @@ __all__ = [
     "iter_scenarios",
     "register_scenario",
     "scenario_names",
+    "BUILD_TARGETS",
+    "build",
     "ENGINE_PAIRS",
     "FUZZ_KNOB_RANGES",
     "DifferentialReport",

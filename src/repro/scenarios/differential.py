@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 from repro.core.apd import AliasedPrefixDetector, APDConfig, APDResult
 from repro.core.clustering import EntropyClustering
 from repro.core.hitlist import Hitlist, HitlistService
+from repro.exec import ExecutionPolicy
 from repro.genaddr.pipeline import TOOLS, GenerationPipeline
 from repro.netmodel.internet import SimulatedInternet
 from repro.scenarios.registry import Scenario, as_scenario
@@ -122,10 +123,10 @@ def check_apd(
     Returns the batch result so downstream checks can reuse the verdicts.
     """
     batch = AliasedPrefixDetector(
-        internet, apd_config, seed=seed, engine="batch"
+        internet, apd_config, seed=seed, engine=ExecutionPolicy(engine="batch")
     ).run(addresses, day=0)
     scalar = AliasedPrefixDetector(
-        internet, apd_config, seed=seed, engine="scalar"
+        internet, apd_config, seed=seed, engine=ExecutionPolicy(engine="scalar")
     ).run(addresses, day=0)
     problems = []
     if set(batch.outcomes) != set(scalar.outcomes):
@@ -159,7 +160,7 @@ def check_clustering(
             min_addresses=min_addresses,
             candidate_ks=candidate_ks,
             seed=seed,
-            engine=name,
+            engine=ExecutionPolicy(engine=name),
         )
         for name in ("reference", "batch")
     }
@@ -208,7 +209,11 @@ def check_service(
     """Per-day published-state parity of the two HitlistService engines."""
     services = {
         name: HitlistService(
-            internet, assembly, apd_config=apd_config, seed=seed, engine=name
+            internet,
+            assembly,
+            apd_config=apd_config,
+            seed=seed,
+            engine=ExecutionPolicy(engine=name),
         )
         for name in ("reference", "batch")
     }
@@ -260,7 +265,7 @@ def check_generation(
             min_seeds_per_as=min_seeds_per_as,
             generation_budget_per_as=generation_budget_per_as,
             seed=seed,
-            engine=name,
+            engine=ExecutionPolicy(engine=name),
         )
         reports[name] = pipeline.run(
             non_aliased, day=0, probe=True, apd_result=apd_result
@@ -333,7 +338,7 @@ def run_differential(
     elif "generation" in pairs:
         # Generation only needs verdicts to seed from: skip the scalar engine.
         apd_result = AliasedPrefixDetector(
-            internet, apd_config, seed=seed, engine="batch"
+            internet, apd_config, seed=seed, engine=ExecutionPolicy(engine="batch")
         ).run(addresses, day=0)
     if "clustering" in pairs:
         report.checks.append(check_clustering(internet, addresses, seed))

@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.addr.address import IPv6Address
     from repro.addr.prefix import IPv6Prefix
     from repro.core.hitlist import DailyHitlist
+    from repro.exec import ExecutionPolicy
     from repro.netmodel.internet import SimulatedInternet
 
 
@@ -113,7 +114,7 @@ class HitlistServer:
         scale: str | None = None,
         anomalies: str | None = None,
         seed: int | None = None,
-        engine: str = "batch",
+        engine: "ExecutionPolicy | str | None" = None,
         protocols: Sequence[Protocol] = ALL_PROTOCOLS,
         validate_hook: "Callable[[HitlistSnapshot], None] | None" = None,
     ) -> "HitlistServer":

@@ -1,4 +1,4 @@
-"""Tests for reprolint (repro.analysis_static): rules R1-R4, pragmas, CLI.
+"""Tests for reprolint (repro.analysis_static): rules R1-R5, pragmas, CLI.
 
 Each rule gets a good/bad fixture pair written to ``tmp_path``: the bad
 fixture must be caught (correct rule id, correct line neighbourhood) and
@@ -42,8 +42,8 @@ def rules_of(findings):
 # -- registry ----------------------------------------------------------------
 
 
-def test_all_four_rules_registered():
-    assert sorted(RULE_REGISTRY) == ["R1", "R2", "R3", "R4"]
+def test_all_five_rules_registered():
+    assert sorted(RULE_REGISTRY) == ["R1", "R2", "R3", "R4", "R5"]
 
 
 # -- R1 determinism ----------------------------------------------------------
@@ -384,6 +384,67 @@ def test_r4_error_message_must_list_every_synonym(tmp_path):
     assert any("scalar" in f.message for f in findings)
 
 
+# -- R5 policy resolution ----------------------------------------------------
+
+
+def test_r5_raw_policy_engine_compare_is_flagged(tmp_path):
+    source = """
+        def run(data, policy):
+            if policy.engine == "batch":
+                return 1
+            return 2
+    """
+    findings = lint_fixture(tmp_path, {"pkg/bad.py": source})
+    assert rules_of(findings) == ["R5"]
+    assert "resolve_policy" in findings[0].message
+
+
+def test_r5_annotated_policy_parameter_is_flagged(tmp_path):
+    source = """
+        def run(data, engine: "ExecutionPolicy | str | None" = None):
+            inner(data, engine=engine)  # delegation keeps R4 quiet
+            if engine.engine in ("batch", "vectorized"):
+                return 1
+            return 2
+    """
+    findings = lint_fixture(tmp_path, {"pkg/bad.py": source})
+    assert "R5" in rules_of(findings)
+
+
+def test_r5_resolve_policy_routing_is_clean(tmp_path):
+    source = """
+        from repro.exec import resolve_policy
+
+        def run(data, policy=None):
+            policy = resolve_policy(engine=policy)
+            if policy.engine == "vectorized":
+                return 1
+            return 2
+    """
+    assert lint_fixture(tmp_path, {"pkg/good.py": source}, select=["R5"]) == []
+
+
+def test_r5_nonliteral_compare_is_clean(tmp_path):
+    source = """
+        def run(data, policy, canonical):
+            if policy.engine == canonical:
+                return 1
+            return 2
+    """
+    assert lint_fixture(tmp_path, {"pkg/good.py": source}, select=["R5"]) == []
+
+
+def test_r5_self_engine_compare_is_clean(tmp_path):
+    source = """
+        class Runner:
+            def step(self):
+                if self.engine == "batch":
+                    return 1
+                return 2
+    """
+    assert lint_fixture(tmp_path, {"pkg/good.py": source}, select=["R5"]) == []
+
+
 # -- pragmas -----------------------------------------------------------------
 
 
@@ -501,7 +562,7 @@ def test_cli_human_output_format(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert reprolint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("R1", "R2", "R3", "R4"):
+    for rule_id in ("R1", "R2", "R3", "R4", "R5"):
         assert rule_id in out
 
 
