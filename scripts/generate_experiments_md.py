@@ -130,6 +130,13 @@ PAPER_EXPECTATIONS: dict[str, tuple[str, str, str]] = {
         "(Atlas upper bound 45.8 %); median uptime ~3 h/day, only 7 addresses responsive the whole month.",
         "MTurk larger, adoption rates in band, client responsiveness low and below the Atlas bound, responsive clients churn within hours.",
     ),
+    "vantage_bias": (
+        "§5 — responsiveness depends on the vantage point",
+        "Probing the same hitlist from different vantage points yields different responsive sets; "
+        "regional ICMPv6 filtering makes some targets reachable only from an in-region vantage.",
+        "On the routed AS-graph topology, per-vantage responsive sets overlap but are not identical "
+        "(pairwise Jaccard < 1), and targets inside the filtered region answer only the in-region vantage.",
+    ),
 }
 
 

@@ -11,6 +11,8 @@ Usage::
     python -m repro serve --scale tiny --days 3          # publish daily snapshots
     python -m repro query --scale tiny --address 2001:db8::1
     python -m repro query --scale tiny --prefix 2001:db8::/32
+    python -m repro trace --scenario multi-vantage --scale tiny \
+        --address 2001:3::1 --vantage 1      # routed AS path + router hops
 """
 
 from __future__ import annotations
@@ -153,6 +155,43 @@ def _build_server(args: argparse.Namespace):
     return server, first_day
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Traceroute one address over the scenario's (possibly routed) topology."""
+    import random
+
+    from repro.netmodel.asgraph import REGIONS
+    from repro.netmodel.internet import SimulatedInternet
+
+    config = get_scenario(args.scenario, scale=args.scale).experiment_config()
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    internet = SimulatedInternet(config.internet_config())
+    routing = internet.routing
+    if routing.active:
+        vantage = routing.resolve_vantage(args.vantage)
+        vantage_asn = routing.vantage_asns[vantage]
+        region = REGIONS[internet.asgraph.region_of(vantage_asn)]
+        print(f"vantage {vantage}: AS{vantage_asn} ({region})")
+        origin = internet.asn_of(args.address)
+        if origin is not None:
+            as_path = routing.path_of_asn(origin, args.day, args.vantage)
+            rendered = " -> ".join(f"AS{asn}" for asn in as_path) or "(unreachable)"
+            print(f"AS path (day {args.day}): {rendered}")
+    else:
+        print("flat topology (num_transit_ases = 0): synthetic backbone path")
+    hops = internet.traceroute(
+        args.address, day=args.day, rng=random.Random(config.seed), vantage=args.vantage
+    )
+    if not hops:
+        print("no responding hops")
+        return 0
+    for ttl, hop in enumerate(hops, start=1):
+        print(f"{ttl:>3}  {hop.compressed}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Publish a run of daily snapshots, reporting each generation."""
     server, first_day = _build_server(args)
@@ -227,6 +266,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--days", type=int, default=1, help="number of consecutive days to publish (default: 1)"
     )
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="traceroute one address over the scenario's routed AS topology"
+    )
+    trace_parser.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default="multi-vantage",
+        help="scenario preset to build (default: multi-vantage)",
+    )
+    trace_parser.add_argument(
+        "--scale",
+        choices=sorted(SCALE_TIERS),
+        default="test",
+        help="scenario scale tier (default: test)",
+    )
+    trace_parser.add_argument("--address", required=True, help="target IPv6 address")
+    trace_parser.add_argument("--day", type=int, default=0, help="measurement day (default: 0)")
+    trace_parser.add_argument(
+        "--vantage",
+        type=int,
+        default=None,
+        help="vantage index to probe from (default: the scenario's vantage_index)",
+    )
+    trace_parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+
     query_parser = subparsers.add_parser(
         "query", help="publish one snapshot and answer a point/prefix/AS query against it"
     )
@@ -254,9 +318,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         for scenario in iter_scenarios():
             print(f"{scenario.name}: {scenario.description}")
         return 0
-    if args.command in ("serve", "query"):
+    if args.command in ("serve", "query", "trace"):
         try:
-            return _cmd_serve(args) if args.command == "serve" else _cmd_query(args)
+            if args.command == "serve":
+                return _cmd_serve(args)
+            if args.command == "trace":
+                return _cmd_trace(args)
+            return _cmd_query(args)
         except ValueError as error:
             print(error, file=sys.stderr)
             return 2

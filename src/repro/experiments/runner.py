@@ -29,6 +29,7 @@ from repro.experiments import (
     table5,
     table7,
     table9,
+    vantage,
 )
 from repro.experiments.context import DEFAULT_EXPERIMENT_CONFIG, ExperimentConfig, ExperimentContext
 
@@ -56,6 +57,7 @@ EXPERIMENTS: Mapping[str, ModuleType] = {
     "fig10": fig10,
     "table8": fig10,
     "table9": table9,
+    "vantage_bias": vantage,
 }
 
 

@@ -18,10 +18,19 @@ from repro.netmodel.schemes import AddressingScheme
 from repro.netmodel.fingerprints import StackPersonality, TimestampBehaviour
 from repro.netmodel.host import Host
 from repro.netmodel.aliased import AliasedRegion
+from repro.netmodel.asgraph import (
+    ASGraph,
+    ASGraphEdge,
+    IXP,
+    REGIONS,
+    build_asgraph,
+    single_homed_graph,
+)
 from repro.netmodel.asregistry import ASCategory, ASDescriptor, ASRegistry
 from repro.netmodel.bgp import BGPAnnouncement, BGPTable
 from repro.netmodel.internet import BatchProbeResult, SimulatedInternet
 from repro.netmodel.packets import ProbeReply
+from repro.netmodel.routing import RouteDayView, RoutingModel
 
 __all__ = [
     "InternetConfig",
@@ -38,7 +47,15 @@ __all__ = [
     "AliasedRegion",
     "ASCategory",
     "ASDescriptor",
+    "ASGraph",
+    "ASGraphEdge",
     "ASRegistry",
+    "IXP",
+    "REGIONS",
+    "RouteDayView",
+    "RoutingModel",
+    "build_asgraph",
+    "single_homed_graph",
     "BGPAnnouncement",
     "BGPTable",
     "SimulatedInternet",

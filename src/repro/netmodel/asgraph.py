@@ -1,0 +1,376 @@
+"""AS-level graph of the routed topology.
+
+The paper's Section 5 shows that hitlist bias depends on *where* probes are
+sent from: congested transit links, upstream ICMP rate limiting and regional
+filtering all sit on the *path*, not at the destination.  This module models
+the path substrate: an AS-level graph with provider/customer (``p2c``) and
+peer (``p2p``) edges, IXP peering fabrics, and one or more measurement
+vantage ASes.  :mod:`repro.netmodel.routing` computes valley-free routes over
+it and flattens them into per-vantage dense path matrices so
+``probe_batch`` stays vectorized.
+
+The graph is composed declaratively from small builders --
+:func:`make_transit_as`, :func:`make_ixp`, :func:`make_vantage_as`,
+:func:`make_eyeball_as`, :func:`make_stub_as` -- the same layered style the
+seed-emulator exemplar uses for its Base/Routing/Ebgp composition.
+:func:`build_asgraph` applies them over an existing
+:class:`~repro.netmodel.asregistry.ASRegistry` according to the
+:class:`~repro.netmodel.config.InternetConfig` routing knobs.
+
+Determinism contract
+--------------------
+
+* The graph is built from its own seeded stream (the caller passes a
+  dedicated ``random.Random``); building it never consumes the Internet's
+  build stream, so enabling the routed topology does not perturb hosts,
+  addressing or BGP announcements.
+* With ``num_transit_ases == 0`` the graph is the **degenerate single-homed
+  star**: one vantage AS is the direct provider of every registry AS.  Every
+  path is two hops, carries no congestion, no filtering and no rate-limit
+  pool -- probe resolution is bit-identical to the historical flat model.
+* Two builds from equal (registry, config, seed) produce equal node, edge
+  and membership lists, in equal order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netmodel.asregistry import ASCategory, ASRegistry
+from repro.netmodel.config import InternetConfig
+
+#: Region labels (RIR-flavoured); ``InternetConfig.filtered_region`` indexes
+#: into this tuple and every AS is assigned one region at build time.
+REGIONS: tuple[str, ...] = ("arin", "ripe", "apnic", "lacnic", "afrinic")
+
+#: First ASN of the synthetic infrastructure range (transits, IXPs, vantages)
+#: -- below the 64500+ range the registry hands to real ASes.
+INFRA_ASN_BASE = 63000
+
+#: Provider-to-customer edge: ``a`` sells transit to ``b``.
+P2C = "p2c"
+#: Settlement-free peering edge (including IXP fabric edges).
+P2P = "p2p"
+
+
+@dataclass(frozen=True, slots=True)
+class ASGraphEdge:
+    """One inter-AS adjacency.
+
+    ``kind`` is :data:`P2C` (``a`` is the provider of ``b``) or :data:`P2P`
+    (``a`` and ``b`` peer).  ``congestion`` is the edge's *relative*
+    congestion weight in [0, 1); the effective per-probe loss is
+    ``congestion * InternetConfig.transit_congestion``, so the default
+    configuration (scale 0) makes every edge lossless.
+    """
+
+    a: int
+    b: int
+    kind: str
+    congestion: float = 0.0
+
+
+@dataclass(slots=True)
+class ASGraphNode:
+    """One AS of the graph: a registry AS or synthetic infrastructure."""
+
+    asn: int
+    kind: str  # "transit" | "vantage" | "stub"
+    region: int
+    name: str = ""
+    category: ASCategory | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class IXP:
+    """One IXP fabric: a named full peering mesh over its members."""
+
+    name: str
+    region: int
+    members: tuple[int, ...]
+
+
+class ASGraph:
+    """Provider/customer/peer adjacencies over the AS population."""
+
+    def __init__(self, *, degenerate: bool = False):
+        self.nodes: dict[int, ASGraphNode] = {}
+        self.edges: list[ASGraphEdge] = []
+        self.ixps: list[IXP] = []
+        self.vantage_asns: list[int] = []
+        #: True for the single-homed star that reproduces flat resolution.
+        self.degenerate = degenerate
+        # Adjacency split by role, from the point of view of each node.
+        self._providers: dict[int, list[int]] = {}
+        self._customers: dict[int, list[int]] = {}
+        self._peers: dict[int, list[int]] = {}
+        self._edge_of: dict[tuple[int, int], ASGraphEdge] = {}
+
+    # -- construction --------------------------------------------------------------
+
+    def add_node(
+        self,
+        asn: int,
+        kind: str,
+        region: int,
+        name: str = "",
+        category: ASCategory | None = None,
+    ) -> ASGraphNode:
+        if asn in self.nodes:
+            raise ValueError(f"AS{asn} is already in the graph")
+        node = ASGraphNode(asn=asn, kind=kind, region=region, name=name, category=category)
+        self.nodes[asn] = node
+        for adjacency in (self._providers, self._customers, self._peers):
+            adjacency[asn] = []
+        return node
+
+    def add_edge(self, a: int, b: int, kind: str, congestion: float = 0.0) -> ASGraphEdge:
+        """Add one edge; ``p2c`` means *a* is the provider of *b*."""
+        if a not in self.nodes or b not in self.nodes:
+            raise ValueError(f"both endpoints must be nodes (AS{a}, AS{b})")
+        if a == b:
+            raise ValueError(f"self-loop on AS{a}")
+        if kind not in (P2C, P2P):
+            raise ValueError(f"unknown edge kind {kind!r} (expected {P2C!r} or {P2P!r})")
+        if (a, b) in self._edge_of or (b, a) in self._edge_of:
+            raise ValueError(f"edge AS{a}-AS{b} already exists")
+        edge = ASGraphEdge(a=a, b=b, kind=kind, congestion=congestion)
+        self.edges.append(edge)
+        self._edge_of[(a, b)] = edge
+        if kind == P2C:
+            self._customers[a].append(b)
+            self._providers[b].append(a)
+        else:
+            self._peers[a].append(b)
+            self._peers[b].append(a)
+        return edge
+
+    # -- access --------------------------------------------------------------------
+
+    def providers_of(self, asn: int) -> list[int]:
+        return self._providers[asn]
+
+    def customers_of(self, asn: int) -> list[int]:
+        return self._customers[asn]
+
+    def peers_of(self, asn: int) -> list[int]:
+        return self._peers[asn]
+
+    def edge_between(self, a: int, b: int) -> ASGraphEdge | None:
+        """The edge between *a* and *b* in either orientation, or None."""
+        return self._edge_of.get((a, b)) or self._edge_of.get((b, a))
+
+    def relationship(self, a: int, b: int) -> str | None:
+        """Step kind walking a -> b: "up" (to provider), "down", "peer"."""
+        edge = self.edge_between(a, b)
+        if edge is None:
+            return None
+        if edge.kind == P2P:
+            return "peer"
+        return "down" if edge.a == a else "up"
+
+    def region_of(self, asn: int) -> int:
+        return self.nodes[asn].region
+
+    @property
+    def transit_asns(self) -> list[int]:
+        return [n.asn for n in self.nodes.values() if n.kind == "transit"]
+
+    @property
+    def stub_asns(self) -> list[int]:
+        return [n.asn for n in self.nodes.values() if n.kind == "stub"]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+# -- declarative builders ----------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _ASNAllocator:
+    """Hands out synthetic infrastructure ASNs deterministically."""
+
+    next_asn: int = INFRA_ASN_BASE
+
+    def take(self) -> int:
+        asn = self.next_asn
+        self.next_asn += 1
+        return asn
+
+
+def make_transit_as(
+    graph: ASGraph, allocator: _ASNAllocator, region: int, rng: random.Random, name: str = ""
+) -> int:
+    """Add one tier-1 transit AS, peered (full mesh) with every existing one.
+
+    Transit-to-transit peering edges carry the heaviest congestion weights:
+    they are the long-haul links real scan campaigns saturate.
+    """
+    asn = allocator.take()
+    graph.add_node(asn, "transit", region, name=name or f"Transit-{asn}")
+    for other in graph.transit_asns:
+        if other != asn:
+            graph.add_edge(asn, other, P2P, congestion=rng.uniform(0.4, 1.0))
+    return asn
+
+
+def make_ixp(
+    graph: ASGraph, name: str, region: int, members: list[int], rng: random.Random
+) -> IXP:
+    """Peer *members* over one IXP fabric (lightly congested p2p clique)."""
+    linked = []
+    for i, a in enumerate(members):
+        for b in members[i + 1 :]:
+            if graph.edge_between(a, b) is None:
+                graph.add_edge(a, b, P2P, congestion=rng.uniform(0.05, 0.25))
+        linked.append(a)
+    ixp = IXP(name=name, region=region, members=tuple(linked))
+    graph.ixps.append(ixp)
+    return ixp
+
+
+def make_vantage_as(
+    graph: ASGraph, allocator: _ASNAllocator, providers: list[int], rng: random.Random
+) -> int:
+    """Add one measurement vantage AS, multi-homed to *providers*.
+
+    The vantage inherits its first provider's region: a vantage "in" a
+    filtered region is simply one whose access provider sits there.
+    """
+    asn = allocator.take()
+    region = graph.region_of(providers[0])
+    graph.add_node(asn, "vantage", region, name=f"Vantage-{asn}")
+    for provider in providers:
+        graph.add_edge(provider, asn, P2C, congestion=rng.uniform(0.02, 0.1))
+    graph.vantage_asns.append(asn)
+    return asn
+
+
+def make_eyeball_as(
+    graph: ASGraph, asn: int, region: int, provider: int, rng: random.Random, name: str = ""
+) -> None:
+    """Attach one eyeball ISP: single-homed to its regional transit.
+
+    Single-homing is what makes eyeball reachability path-dependent: one
+    congested or filtering upstream shadows the whole customer cone -- the
+    residential filtering asymmetry the reconnaissance literature documents.
+    """
+    graph.add_node(asn, "stub", region, name=name, category=ASCategory.EYEBALL_ISP)
+    graph.add_edge(provider, asn, P2C, congestion=rng.uniform(0.1, 0.5))
+
+
+def make_stub_as(
+    graph: ASGraph,
+    asn: int,
+    region: int,
+    providers: list[int],
+    rng: random.Random,
+    name: str = "",
+    category: ASCategory | None = None,
+) -> None:
+    """Attach one server-side stub AS, multi-homed to *providers*."""
+    graph.add_node(asn, "stub", region, name=name, category=category)
+    for provider in providers:
+        graph.add_edge(provider, asn, P2C, congestion=rng.uniform(0.05, 0.3))
+
+
+# -- registry composition ----------------------------------------------------------
+
+
+def single_homed_graph(registry: ASRegistry) -> ASGraph:
+    """The degenerate star: the vantage directly provides every AS.
+
+    This is the historical flat resolution expressed as a graph: every path
+    is ``(vantage, dest)``, lossless, unfiltered and pool-free, so the
+    routed probe path collapses to exactly the old behaviour.
+    """
+    graph = ASGraph(degenerate=True)
+    allocator = _ASNAllocator()
+    vantage = allocator.take()
+    graph.add_node(vantage, "vantage", 0, name=f"Vantage-{vantage}")
+    graph.vantage_asns.append(vantage)
+    for descriptor in registry:
+        graph.add_node(
+            descriptor.asn.number, "stub", 0,
+            name=descriptor.name, category=descriptor.category,
+        )
+        graph.add_edge(vantage, descriptor.asn.number, P2C, congestion=0.0)
+    return graph
+
+
+def build_asgraph(
+    registry: ASRegistry, config: InternetConfig, rng: random.Random
+) -> ASGraph:
+    """Compose the routed AS graph over *registry* per the config knobs.
+
+    With ``config.num_transit_ases == 0`` this returns
+    :func:`single_homed_graph` (the degenerate flat model).  Otherwise:
+
+    * ``num_transit_ases`` tier-1 transits, full-mesh peered, regions
+      assigned round-robin over :data:`REGIONS`;
+    * every registry AS attached by category -- clouds multi-homed to 2-3
+      transits always including their regional one (a local PoP), hosters to
+      1-2, eyeballs single-homed to a regional transit, enterprise/academic
+      single-homed anywhere;
+    * ``num_ixps`` IXP fabrics peering the transits of a region with the
+      cloud/hoster ASes located there;
+    * ``num_vantages`` vantage ASes, vantage *i* primary-homed to transit
+      ``i % num_transit_ases`` (plus one backup transit when available, so
+      BGP churn has a genuinely different first hop to flip to).
+    """
+    if config.num_transit_ases <= 0:
+        return single_homed_graph(registry)
+    graph = ASGraph()
+    allocator = _ASNAllocator()
+    transits = [
+        make_transit_as(graph, allocator, region=i % len(REGIONS), rng=rng)
+        for i in range(config.num_transit_ases)
+    ]
+    for descriptor in registry:
+        asn = descriptor.asn.number
+        region = rng.randrange(len(REGIONS))
+        if descriptor.category is ASCategory.EYEBALL_ISP:
+            regional = [t for t in transits if graph.region_of(t) == region]
+            provider = regional[0] if regional else rng.choice(transits)
+            make_eyeball_as(graph, asn, region, provider, rng, name=descriptor.name)
+            continue
+        if descriptor.category is ASCategory.CLOUD_CDN:
+            count = min(len(transits), 2 if descriptor.weight < 6 else 3)
+        elif descriptor.category is ASCategory.HOSTER:
+            count = min(len(transits), 1 + (rng.random() < 0.5))
+        else:
+            count = 1
+        providers = rng.sample(transits, count)
+        if descriptor.category is ASCategory.CLOUD_CDN:
+            # Clouds run a PoP in their home region: homing them to the
+            # regional transit keeps them reachable from an in-region vantage
+            # without a border crossing (the filtered-region experiment).
+            regional = [t for t in transits if graph.region_of(t) == region]
+            if regional and regional[0] not in providers:
+                providers[-1] = regional[0]
+        make_stub_as(
+            graph, asn, region, providers, rng,
+            name=descriptor.name, category=descriptor.category,
+        )
+    for i in range(config.num_ixps):
+        region = i % len(REGIONS)
+        members = [t for t in transits if graph.region_of(t) == region]
+        members += [
+            n.asn
+            for n in graph.nodes.values()
+            if n.kind == "stub"
+            and n.region == region
+            and n.category in (ASCategory.CLOUD_CDN, ASCategory.HOSTER)
+        ]
+        if len(members) >= 2:
+            make_ixp(graph, f"IXP-{REGIONS[region]}-{i}", region, members, rng)
+    for i in range(max(1, config.num_vantages)):
+        primary = transits[i % len(transits)]
+        providers = [primary]
+        if len(transits) >= 2:
+            backup = transits[(i + 1) % len(transits)]
+            providers.append(backup)
+        make_vantage_as(graph, allocator, providers, rng)
+    return graph

@@ -58,6 +58,44 @@ class InternetConfig:
         off -- together with ``packet_loss`` and ``icmp_rate_limited_share``
         -- to build a fully deterministic Internet for exact batch/scalar
         parity runs.
+    num_transit_ases:
+        Number of tier-1 transit ASes in the routed AS-level topology
+        (:mod:`repro.netmodel.asgraph`).  0 -- the default -- builds the
+        degenerate single-homed graph: every AS hangs directly off the
+        vantage point and probe resolution is bit-identical to the historical
+        flat model (no path effects, no extra random draws).
+    num_ixps:
+        Number of IXP fabrics (peering cliques among transits, clouds and
+        hosters).  Only meaningful with ``num_transit_ases > 0``.
+    num_vantages:
+        Number of measurement vantage ASes attached to the routed graph.
+        Per-vantage dense path matrices are precomputed, so switching
+        vantage costs nothing at probe time.
+    vantage_index:
+        Which vantage :meth:`~repro.netmodel.internet.SimulatedInternet.probe`
+        and ``probe_batch`` use by default (taken modulo ``num_vantages``,
+        so fuzzers can sample it independently).
+    transit_congestion:
+        Scale of per-edge congestion loss on inter-AS links.  A probe's
+        delivery probability is the product of ``1 - congestion * weight``
+        over the edges of its route; 0 disables congestion entirely (no
+        random draws).  Stochastic: zeroed by the deterministic anomaly mix.
+    upstream_rate_limit:
+        Scale of per-AS upstream ICMP rate limiting.  Each transit AS holds
+        a token pool sized against the share of destinations it serves from
+        the active vantage, so heavily loaded upstreams shed more ICMP --
+        emergent, not hand-set.  Stochastic: zeroed by the deterministic mix.
+    filtered_region:
+        Index into :data:`repro.netmodel.asgraph.REGIONS` of a region whose
+        border filters inbound probes (deterministic drop on every protocol),
+        or -1 for no filtering.  Probes from a vantage inside the region are
+        not filtered -- the Section 5 vantage-point dependence.
+    bgp_churn_rate:
+        Per-day probability that a destination's route flips to its
+        alternate path (a pure function of seed, day and destination, so
+        churn is deterministic per day).  Churn never flips a destination's
+        filtered status -- an AS does not switch onto a blackholed route --
+        so probe outcomes stay day-stable under the deterministic mix.
     """
 
     seed: int = 2018
@@ -76,6 +114,14 @@ class InternetConfig:
     deaggregation_rate: float = 0.25
     eyeball_tail_boost: float = 1.0
     stochastic_anomalies: bool = True
+    num_transit_ases: int = 0
+    num_ixps: int = 0
+    num_vantages: int = 1
+    vantage_index: int = 0
+    transit_congestion: float = 0.0
+    upstream_rate_limit: float = 0.0
+    filtered_region: int = -1
+    bgp_churn_rate: float = 0.0
 
     def scaled(self, factor: float) -> "InternetConfig":
         """A copy with host counts scaled by *factor* (same structure)."""

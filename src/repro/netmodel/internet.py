@@ -36,12 +36,14 @@ from repro.addr.generate import random_address_in_prefix
 from repro.addr.prefix import IPv6Prefix
 from repro.addr.trie import PrefixTrie
 from repro.netmodel.aliased import SYN_PROXY_ANSWER_PROBABILITY, AliasedRegion
+from repro.netmodel.asgraph import build_asgraph
 from repro.netmodel.asregistry import ASCategory, ASDescriptor, ASRegistry
 from repro.netmodel.bgp import BGPAnnouncement, BGPTable
 from repro.netmodel.config import DEFAULT_CONFIG, InternetConfig
 from repro.netmodel.fingerprints import StackPersonality
 from repro.netmodel.host import Host, StabilityModel
 from repro.netmodel.packets import ProbeReply
+from repro.netmodel.routing import RoutingModel
 from repro.netmodel.schemes import (
     AddressingScheme,
     EYEBALL_SCHEME_WEIGHTS,
@@ -162,6 +164,7 @@ class _BatchIndex:
 
     __slots__ = (
         "bgp",
+        "ann_dest_row",
         "limits",
         "limit_values",
         "regions",
@@ -181,6 +184,14 @@ class _BatchIndex:
 
     def __init__(self, internet: "SimulatedInternet"):
         self.bgp = FlatLPM((ann.prefix, ann) for ann in internet.bgp)
+        # Announcement index -> destination row of the routing model (-1 for
+        # origin ASes outside the AS graph), so probe_batch can gather route
+        # effects straight from the LPM result.
+        self.ann_dest_row = np.fromiter(
+            (internet.routing.row_of_asn(ann.origin_asn) for ann in self.bgp.objects),
+            dtype=np.int64,
+            count=len(self.bgp.objects),
+        )
         limit_items = list(internet._icmp_rate_limited.items())
         self.limits = FlatLPM(limit_items)
         self.limit_values = np.array([v for _, v in limit_items], dtype=float)
@@ -289,6 +300,12 @@ class SimulatedInternet:
         )
         self.bgp = BGPTable()
         self.topology = Topology(random.Random(config.seed ^ 0x70B0))
+        # The AS graph draws from a dedicated stream: enabling the routed
+        # topology must not perturb hosts, addressing or announcements.
+        self.asgraph = build_asgraph(
+            self.registry, config, random.Random(config.seed ^ 0xA5C4)
+        )
+        self.routing = RoutingModel(self.asgraph, config)
         self.plans: list[NetworkPlan] = []
         self.hosts: list[Host] = []
         self.aliased_regions: list[AliasedRegion] = []
@@ -300,7 +317,7 @@ class SimulatedInternet:
         # Per-address lookup cache: repeated scans hit the same addresses on
         # several protocols and days, so trie walks are memoised.
         self._probe_cache: dict[
-            int, tuple[bool, Optional[float], Optional[AliasedRegion], Optional[Host]]
+            int, tuple[bool, Optional[float], Optional[AliasedRegion], Optional[Host], int]
         ] = {}
         # Popular /64 pods per aliased region, grown lazily by
         # sample_aliased_addresses (keyed by region identity).
@@ -543,11 +560,14 @@ class SimulatedInternet:
         day: int = 0,
         time_of_day: float = 43200.0,
         rng: Optional[random.Random] = None,
+        *,
+        vantage: Optional[int] = None,
     ) -> Optional[ProbeReply]:
         """Send one probe; return the reply or ``None`` for silence.
 
         This is the only interface the measurement pipeline uses.  Loss, ICMP
-        rate limiting and aliased behaviour are applied here.
+        rate limiting, aliased behaviour and -- with a routed AS graph -- the
+        path effects of the day's route from *vantage* are applied here.
         """
         rng = rng or self._probe_rng
         addr = address if isinstance(address, IPv6Address) else parse_address(address)
@@ -555,16 +575,41 @@ class SimulatedInternet:
             return None
         cached = self._probe_cache.get(addr.value)
         if cached is None:
+            announcement = self.bgp.lookup(addr)
+            dest_row = (
+                self.routing.row_of_asn(announcement.origin_asn)
+                if announcement is not None and self.routing.active
+                else -1
+            )
             cached = (
-                self.bgp.is_routed(addr),
+                announcement is not None,
                 self._icmp_rate_limited.lookup(addr),
                 self._aliased_trie.lookup(addr),
                 self._host_by_address.get(addr.value),
+                dest_row,
             )
             self._probe_cache[addr.value] = cached
-        routed, icmp_limit, region, host = cached
+        routed, icmp_limit, region, host, dest_row = cached
         if not routed:
             return None
+        routing = self.routing
+        if routing.active:
+            # Walk the day's route: deterministic effects first (filtering,
+            # reachability), stochastic path effects after -- the degenerate
+            # graph skips this block entirely, drawing nothing.
+            view = routing.day_view(day, vantage)
+            if dest_row < 0 or view.hops[dest_row] == 0:
+                return None
+            if routing.has_filtering and view.filtered[dest_row]:
+                return None
+            if routing.has_congestion and rng.random() >= view.delivery[dest_row]:
+                return None
+            if (
+                protocol is Protocol.ICMP
+                and routing.has_rate_limit
+                and rng.random() >= view.icmp_allowance[dest_row]
+            ):
+                return None
         if protocol is Protocol.ICMP and icmp_limit is not None:
             if rng.random() > icmp_limit:
                 return None
@@ -595,6 +640,7 @@ class SimulatedInternet:
         day: int = 0,
         *,
         rng: "np.random.Generator | int | None" = None,
+        vantage: Optional[int] = None,
     ) -> BatchProbeResult:
         """Resolve responsiveness for a whole target array in one pass.
 
@@ -628,7 +674,26 @@ class SimulatedInternet:
         if n == 0:
             return result
         index = self._ensure_batch_index()
-        routed = index.bgp.lookup_indices(targets) >= 0
+        ann_index = index.bgp.lookup_indices(targets)
+        routed = ann_index >= 0
+        route_delivery: Optional[np.ndarray] = None
+        route_allowance: Optional[np.ndarray] = None
+        routing = self.routing
+        if routing.active:
+            # Gather the day's route effects per target; deterministic parts
+            # (filtering, reachability) fold into `routed` before any draw.
+            view = routing.day_view(day, vantage)
+            dest_rows = np.where(
+                routed, index.ann_dest_row[np.maximum(ann_index, 0)], np.int64(-1)
+            )
+            rows = np.maximum(dest_rows, 0)
+            routed = routed & (dest_rows >= 0) & (view.hops[rows] > 0)
+            if routing.has_filtering:
+                routed &= ~view.filtered[rows]
+            if routing.has_congestion:
+                route_delivery = np.where(routed, view.delivery[rows], 0.0)
+            if routing.has_rate_limit:
+                route_allowance = np.where(routed, view.icmp_allowance[rows], 0.0)
         limit_index = index.limits.lookup_indices(targets)
         region_index = index.regions.lookup_indices(targets)
         # Aliased regions answer before bound hosts, as in the scalar path.
@@ -646,6 +711,10 @@ class SimulatedInternet:
             # Fresh array per protocol: the rate-limit branch below mutates
             # `delivered` in place and must never alias the shared `routed`.
             delivered = routed.copy() if loss <= 0.0 else routed & (rng.random(n) >= loss)
+            if route_delivery is not None:
+                delivered &= rng.random(n) < route_delivery
+            if protocol is Protocol.ICMP and route_allowance is not None:
+                delivered &= rng.random(n) < route_allowance
             if protocol is Protocol.ICMP and len(index.limits):
                 limited = limit_index >= 0
                 if limited.any():
@@ -685,10 +754,16 @@ class SimulatedInternet:
         address: "IPv6Address | int | str",
         day: int = 0,
         rng: Optional[random.Random] = None,
+        *,
+        vantage: Optional[int] = None,
     ) -> list[IPv6Address]:
         """Router hops observed on the path towards *address*.
 
-        Per-hop loss is applied, mirroring real traceroutes with missing hops.
+        Per-hop loss is applied, mirroring real traceroutes with missing
+        hops.  With a routed AS graph the hop sequence follows the day's
+        valley-free route from *vantage*: transit routers appear per AS hop,
+        regional filtering truncates the path at the region border, and
+        rate-limited upstreams shed their TTL-exceeded replies.
         """
         rng = rng or self._probe_rng
         addr = address if isinstance(address, IPv6Address) else parse_address(address)
@@ -698,8 +773,40 @@ class SimulatedInternet:
         plan = self._plan_by_announcement.get(announcement.prefix)
         if plan is None:
             return []
-        path = self.topology.build_path(announcement.prefix, plan.category, plan.allocation)
-        hops = [h for h in path.hops if rng.random() > self.config.packet_loss * 2]
+        loss = self.config.packet_loss * 2
+        routing = self.routing
+        if not routing.active:
+            path = self.topology.build_path(
+                announcement.prefix, plan.category, plan.allocation
+            )
+            return [h for h in path.hops if rng.random() > loss]
+        as_path = routing.path_of_asn(plan.asn, day, vantage)
+        if not as_path:
+            return []
+        cut = routing.filter_cut(as_path) if routing.has_filtering else None
+        routed_path = self.topology.build_routed_path(
+            announcement.prefix,
+            plan.category,
+            plan.allocation,
+            as_path,
+            seed=self.config.seed,
+        )
+        allowances = (
+            routing.transit_allowances(vantage) if routing.has_rate_limit else {}
+        )
+        hops: list[IPv6Address] = []
+        for position, (asn, segment) in enumerate(
+            zip(as_path[1:], routed_path.segments), start=1
+        ):
+            if cut is not None and position >= cut:
+                break  # the filter border blackholes everything past it
+            allowance = allowances.get(asn, 1.0)
+            for hop in segment:
+                if rng.random() <= loss:
+                    continue
+                if allowance < 1.0 and rng.random() >= allowance:
+                    continue  # the upstream pool shed the TTL-exceeded reply
+                hops.append(hop)
         return hops
 
     # ------------------------------------------------------------------ ground truth

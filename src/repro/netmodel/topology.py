@@ -32,11 +32,39 @@ class RouterPath:
         return len(self.hops)
 
 
+@dataclass(frozen=True, slots=True)
+class RoutedPath:
+    """Router addresses towards one prefix, segmented per AS of the route.
+
+    ``segments[i]`` holds the router addresses inside ``as_path[i + 1]`` (the
+    vantage AS itself contributes no hops); the last segment is the
+    destination AS, ending in a CPE for eyeball networks.  Keeping the AS
+    boundary explicit lets traceroute truncate at a filter border and shed
+    hops per rate-limited upstream.
+    """
+
+    prefix: IPv6Prefix
+    as_path: tuple[int, ...]
+    segments: tuple[tuple[IPv6Address, ...], ...]
+
+    @property
+    def hops(self) -> tuple[IPv6Address, ...]:
+        return tuple(hop for segment in self.segments for hop in segment)
+
+    @property
+    def length(self) -> int:
+        return sum(len(segment) for segment in self.segments)
+
+
 class Topology:
     """Per-prefix router paths from the measurement vantage point."""
 
     #: Prefix in which synthetic backbone router addresses live.
     BACKBONE_PREFIX = IPv6Prefix.parse("2001:678:ffff::/48")
+
+    #: Prefix in which per-transit router addresses of the routed AS graph
+    #: live; the transit's ASN is encoded into the interface identifier.
+    TRANSIT_PREFIX = IPv6Prefix.parse("2001:678:fffe::/48")
 
     def __init__(self, rng: random.Random):
         self._rng = rng
@@ -44,6 +72,7 @@ class Topology:
             IPv6Address(self.BACKBONE_PREFIX.network | (i + 1)) for i in range(24)
         ]
         self._paths: dict[IPv6Prefix, RouterPath] = {}
+        self._routed_paths: dict[tuple[IPv6Prefix, tuple[int, ...]], RoutedPath] = {}
 
     def build_path(
         self, prefix: IPv6Prefix, category: ASCategory, allocation: IPv6Prefix
@@ -69,6 +98,56 @@ class Topology:
             hops.append(IPv6Address(prefix.network | (subnet << 64) | iid))
         path = RouterPath(prefix=prefix, hops=tuple(hops))
         self._paths[prefix] = path
+        return path
+
+    def build_routed_path(
+        self,
+        prefix: IPv6Prefix,
+        category: ASCategory,
+        allocation: IPv6Prefix,
+        as_path: tuple[int, ...],
+        *,
+        seed: int = 0,
+    ) -> RoutedPath:
+        """Create (and memoise) the router path along *as_path*.
+
+        Unlike :meth:`build_path` this never consumes the shared topology
+        stream: hop addresses are a pure function of (seed, prefix, AS path),
+        so routes that flip between primary and alternate paths across days
+        produce stable per-path hop sequences.
+        """
+        key = (prefix, as_path)
+        existing = self._routed_paths.get(key)
+        if existing is not None:
+            return existing
+        path_key = seed & 0xFFFFFFFF
+        for asn in as_path:
+            path_key = (path_key * 1000003 + asn) & 0xFFFFFFFFFFFF
+        path_key ^= prefix.network >> 80
+        rng = random.Random(path_key)
+        segments: list[tuple[IPv6Address, ...]] = []
+        # Intermediate ASes expose one or two deterministic transit routers.
+        for asn in as_path[1:-1]:
+            segments.append(
+                tuple(
+                    IPv6Address(self.TRANSIT_PREFIX.network | (asn << 32) | (i + 1))
+                    for i in range(1 + (asn & 1))
+                )
+            )
+        # Destination AS: provider-core routers inside the allocation, using
+        # low-counter infrastructure addressing; eyeballs end in an EUI-64 CPE.
+        dest_hops: list[IPv6Address] = [
+            IPv6Address(allocation.network | (0xFFFF << 64) | (i + 1))
+            for i in range(rng.randint(1, 3))
+        ]
+        if category is ASCategory.EYEBALL_ISP:
+            vendor = pick_vendor(rng, CPE_VENDORS)
+            iid = eui64_iid_from_mac(random_mac(vendor, rng))
+            subnet = rng.getrandbits(8)
+            dest_hops.append(IPv6Address(prefix.network | (subnet << 64) | iid))
+        segments.append(tuple(dest_hops))
+        path = RoutedPath(prefix=prefix, as_path=as_path, segments=tuple(segments))
+        self._routed_paths[key] = path
         return path
 
     def path_for(self, prefix: IPv6Prefix) -> RouterPath | None:

@@ -36,14 +36,19 @@ class TracerouteResult:
 class TracerouteEngine:
     """Batch traceroute driver collecting router addresses."""
 
-    def __init__(self, internet: SimulatedInternet, seed: int = 0):
+    def __init__(
+        self, internet: SimulatedInternet, seed: int = 0, vantage: int | None = None
+    ):
         self.internet = internet
+        self.vantage = vantage
         self._rng = random.Random(seed)
         self._discovered: dict[int, IPv6Address] = {}
 
     def trace(self, target: IPv6Address, day: int = 0) -> TracerouteResult:
-        """Traceroute a single target."""
-        hops = self.internet.traceroute(target, day=day, rng=self._rng)
+        """Traceroute a single target (from the engine's vantage point)."""
+        hops = self.internet.traceroute(
+            target, day=day, rng=self._rng, vantage=self.vantage
+        )
         for hop in hops:
             self._discovered.setdefault(hop.value, hop)
         return TracerouteResult(target=target, hops=list(hops))

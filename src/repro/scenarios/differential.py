@@ -57,6 +57,15 @@ FUZZ_KNOB_RANGES: dict[str, tuple] = {
     "eyeball_tail_boost": (0.25, 6.0),
     "client_daily_uptime": (0.05, 0.95),
     "apd_min_targets": (40, 120),
+    # Routed-topology knobs.  Only the deterministic ones are sampled here:
+    # congestion and upstream rate limiting are stochastic by design and get
+    # zeroed by the deterministic anomaly mix anyway.  num_transit_ases spans
+    # down to 0, the degenerate single-homed graph.
+    "num_transit_ases": (0, 4),
+    "num_vantages": (1, 3),
+    "vantage_index": (0, 2),
+    "filtered_region": (-1, 4),
+    "bgp_churn_rate": (0.0, 0.6),
 }
 
 

@@ -116,6 +116,46 @@ RATE_LIMITED = _preset(
     },
 )
 
+#: Routed topology with several vantage ASes: congested transit mesh plus
+#: emergent upstream ICMP rate limiting -- Section 5's vantage dependence.
+MULTI_VANTAGE = _preset(
+    "multi-vantage",
+    "routed AS graph with three vantage ASes, congested transits and "
+    "load-dependent upstream ICMP rate limiting",
+    {
+        "num_transit_ases": 5,
+        "num_ixps": 2,
+        "num_vantages": 3,
+        "transit_congestion": 0.2,
+        "upstream_rate_limit": 0.25,
+    },
+)
+
+#: One region's border filters inbound probes; only a vantage homed inside
+#: the region sees it unfiltered (the Section 9.3 inbound-filtering regime).
+FILTERED_REGION = _preset(
+    "filtered-region",
+    "routed AS graph where one region filters inbound probes at its border",
+    {
+        "num_transit_ases": 4,
+        "num_ixps": 1,
+        "num_vantages": 2,
+        "filtered_region": 2,
+    },
+)
+
+#: Routes flip between primary and alternate paths day over day.
+BGP_CHURN = _preset(
+    "bgp-churn",
+    "routed AS graph with daily route churn between primary and alternate paths",
+    {
+        "num_transit_ases": 5,
+        "num_ixps": 2,
+        "bgp_churn_rate": 0.35,
+        "transit_congestion": 0.15,
+    },
+)
+
 #: The default structure, several times larger in every dimension -- the
 #: mega scale tier promoted to a named preset (one shared layer, so tier and
 #: preset cannot drift apart).

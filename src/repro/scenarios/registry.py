@@ -226,6 +226,11 @@ ANOMALY_MIXES: dict[str, ScenarioLayer] = {
             "packet_loss": 0.0,
             "icmp_rate_limited_share": 0.0,
             "stochastic_anomalies": False,
+            # Stochastic routed-path effects; the deterministic routed knobs
+            # (filtering, churn, vantage) stay, as pure functions of
+            # (target, protocol, day) they keep exact cross-engine parity.
+            "transit_congestion": 0.0,
+            "upstream_rate_limit": 0.0,
         },
     ),
     "realistic": ScenarioLayer("anomalies:realistic", {}),

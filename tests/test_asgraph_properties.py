@@ -1,0 +1,176 @@
+"""Property-based tests of the AS graph and valley-free routing.
+
+Hypothesis samples routed-topology configurations (transit count, IXPs,
+vantages, filtering, churn) over small AS registries and asserts the routing
+invariants the probe path relies on: every selected path is valley-free and
+loop-free, path matrices are consistent with the selected paths, churn never
+flips a destination's filtered status, and two builds from equal inputs are
+bit-identical.
+"""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.netmodel.asgraph import REGIONS, build_asgraph, single_homed_graph
+from repro.netmodel.asregistry import ASRegistry
+from repro.netmodel.config import InternetConfig
+from repro.netmodel.routing import RoutingModel, is_valley_free
+
+
+def build_routing(
+    seed: int,
+    num_transits: int,
+    num_ixps: int = 0,
+    num_vantages: int = 1,
+    filtered_region: int = -1,
+    churn: float = 0.0,
+) -> RoutingModel:
+    """A routing model over a small registry, fully determined by the args."""
+    config = InternetConfig(
+        seed=seed,
+        num_ases=36,
+        num_transit_ases=num_transits,
+        num_ixps=num_ixps,
+        num_vantages=num_vantages,
+        filtered_region=filtered_region,
+        bgp_churn_rate=churn,
+    )
+    registry = ASRegistry.build(config.num_ases, random.Random(seed))
+    graph = build_asgraph(registry, config, random.Random(seed ^ 1))
+    return RoutingModel(graph, config)
+
+
+#: Routed (non-degenerate) configuration draws.
+routed_cases = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**16 - 1),
+        "num_transits": st.integers(1, 6),
+        "num_ixps": st.integers(0, 3),
+        "num_vantages": st.integers(1, 3),
+        "filtered_region": st.integers(-1, len(REGIONS) - 1),
+        "churn": st.sampled_from([0.0, 0.5]),
+    }
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(case=routed_cases)
+def test_selected_paths_are_valley_free_and_loop_free(case):
+    routing = build_routing(**case)
+    graph = routing.graph
+    for vantage, vantage_asn in enumerate(routing.vantage_asns):
+        for row, dest in enumerate(routing.dest_asns):
+            for day in (0, 1):
+                path = routing.as_path(row, day, vantage)
+                if not path:
+                    continue
+                assert path[0] == vantage_asn
+                assert path[-1] == dest
+                assert len(set(path)) == len(path), f"loop in {path}"
+                assert is_valley_free(graph, path), f"valley in {path}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(case=routed_cases)
+def test_path_matrices_are_consistent_with_selected_paths(case):
+    routing = build_routing(**case)
+    for vantage in range(len(routing.vantage_asns)):
+        view = routing.day_view(0, vantage)
+        for row in range(len(routing.dest_asns)):
+            path = routing.as_path(row, 0, vantage)
+            assert view.hops[row] == max(0, len(path) - 1)
+            if path:
+                filtered = routing.filter_cut(path) is not None
+                assert bool(view.filtered[row]) == filtered
+                assert 0.0 <= view.delivery[row] <= 1.0
+                assert 0.0 <= view.icmp_allowance[row] <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(case=routed_cases)
+def test_churn_never_flips_the_filtered_status(case):
+    routing = build_routing(**{**case, "churn": 0.5})
+    for vantage in range(len(routing.vantage_asns)):
+        day0 = routing.day_view(0, vantage)
+        for day in (1, 2, 5):
+            view = routing.day_view(day, vantage)
+            assert np.array_equal(view.filtered, day0.filtered)
+            assert np.array_equal(view.hops > 0, day0.hops > 0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(case=routed_cases)
+def test_two_builds_are_bit_identical(case):
+    a, b = build_routing(**case), build_routing(**case)
+    assert [(e.a, e.b, e.kind, e.congestion) for e in a.graph.edges] == [
+        (e.a, e.b, e.kind, e.congestion) for e in b.graph.edges
+    ]
+    assert a.vantage_asns == b.vantage_asns
+    assert a.dest_asns == b.dest_asns
+    for vantage in range(len(a.vantage_asns)):
+        for day in (0, 3):
+            va, vb = a.day_view(day, vantage), b.day_view(day, vantage)
+            assert np.array_equal(va.filtered, vb.filtered)
+            assert np.array_equal(va.delivery, vb.delivery)
+            assert np.array_equal(va.icmp_allowance, vb.icmp_allowance)
+            assert np.array_equal(va.hops, vb.hops)
+        for row in range(len(a.dest_asns)):
+            assert a.as_path(row, 1, vantage) == b.as_path(row, 1, vantage)
+
+
+@settings(max_examples=15, deadline=None)
+@given(case=routed_cases)
+def test_adjacency_is_symmetric_and_reversed_paths_stay_valley_free(case):
+    """Peering is symmetric, down reverses to up, and a reversed valley-free
+    path is still valley-free (``up* peer? down*`` is shape-symmetric)."""
+    routing = build_routing(**case)
+    graph = routing.graph
+    for edge in graph.edges:
+        forward = graph.relationship(edge.a, edge.b)
+        backward = graph.relationship(edge.b, edge.a)
+        if forward == "peer":
+            assert backward == "peer"
+        else:
+            assert {forward, backward} == {"up", "down"}
+    for row in range(0, len(routing.dest_asns), 7):
+        path = routing.as_path(row, 0)
+        if path:
+            assert is_valley_free(graph, tuple(reversed(path)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**16 - 1))
+def test_degenerate_graph_is_inactive_and_star_shaped(seed):
+    config = InternetConfig(seed=seed, num_ases=36)
+    registry = ASRegistry.build(config.num_ases, random.Random(seed))
+    graph = build_asgraph(registry, config, random.Random(seed ^ 1))
+    assert graph.degenerate
+    assert len(graph.vantage_asns) == 1
+    vantage = graph.vantage_asns[0]
+    assert sorted(graph.customers_of(vantage)) == sorted(graph.stub_asns)
+    assert all(edge.congestion == 0.0 for edge in graph.edges)
+    routing = RoutingModel(graph, config)
+    assert not routing.active
+    assert not routing.has_filtering
+    assert not routing.has_churn
+    # Identical to a directly constructed star.
+    star = single_homed_graph(registry)
+    assert sorted(star.nodes) == sorted(graph.nodes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(case=routed_cases, day=st.integers(0, 40))
+def test_scalar_and_batch_churn_draws_agree(case, day):
+    """The scalar churn predicate matches the vectorized day-view plane."""
+    routing = build_routing(**{**case, "churn": 0.5})
+    n = len(routing.dest_asns)
+    view = routing.day_view(day)
+    primary = routing.day_view(0)  # only to force both code paths to build
+    del primary
+    for row in range(n):
+        plane = 1 if routing.uses_alternate(row, day) else 0
+        path = routing.as_path(row, day)
+        assert path == routing._paths[routing.resolve_vantage(None)][plane][row]
+        assert view.hops[row] == max(0, len(path) - 1)

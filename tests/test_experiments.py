@@ -232,6 +232,6 @@ class TestRunner:
         expected = {
             "table1", "table2", "table3", "table4", "table5", "table6", "table7",
             "table8", "table9", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "fig9", "fig10", "murdock",
+            "fig7", "fig8", "fig9", "fig10", "murdock", "vantage_bias",
         }
         assert set(runner.EXPERIMENTS) == expected

@@ -1,9 +1,18 @@
 """Tests for the probing engines (ZMap-style scanner, traceroute, fingerprinting)."""
 
+import random
+from dataclasses import replace
+
 import pytest
 
+from repro.addr import IPv6Address
+from repro.netmodel.config import InternetConfig
+from repro.netmodel.internet import SimulatedInternet
 from repro.netmodel.services import ALL_PROTOCOLS, HostRole, Protocol
+from repro.netmodel.topology import Topology
 from repro.probing import FingerprintProbe, ScanScheduler, TracerouteEngine, ZMapScanner
+
+TRANSIT_PREFIX = Topology.TRANSIT_PREFIX
 
 
 @pytest.fixture(scope="module")
@@ -76,6 +85,134 @@ class TestTraceroute:
         result = engine.trace(IPv6Address.parse("2a0e::1"))
         assert not result.responded
         assert result.last_hop is None
+
+
+class TestTracerouteEdgeCases:
+    """Routed-topology traceroute behaviour at the edges.
+
+    Filtering truncates paths at the region border, a saturated upstream
+    sheds its TTL-exceeded replies mid-path, total loss yields a zero-hop
+    answer, and BGP churn changes the observed path across days.
+    """
+
+    @staticmethod
+    def _routed_config(**overrides):
+        base = InternetConfig(
+            num_ases=48,
+            packet_loss=0.0,
+            icmp_rate_limited_share=0.0,
+            stochastic_anomalies=False,
+            num_transit_ases=4,
+            num_ixps=1,
+            num_vantages=2,
+        )
+        return replace(base, **overrides)
+
+    @staticmethod
+    def _dest_rows(internet):
+        """(address, dest row) for one bound address per announcement."""
+        seen: dict[int, object] = {}
+        for address in internet.all_bound_addresses():
+            announcement = internet.bgp.lookup(address)
+            if announcement is None or announcement.origin_asn in seen:
+                continue
+            seen[announcement.origin_asn] = address
+        return [
+            (address, internet.routing.row_of_asn(asn))
+            for asn, address in seen.items()
+        ]
+
+    def test_unrouted_target_is_silent_in_routed_mode(self):
+        internet = SimulatedInternet(self._routed_config())
+        assert internet.traceroute(IPv6Address.parse("2a0e::1"), rng=random.Random(1)) == []
+
+    def test_filtered_target_truncates_at_the_region_border(self):
+        internet = SimulatedInternet(self._routed_config(filtered_region=2))
+        routing = internet.routing
+        cases = []
+        for vantage in range(len(routing.vantage_asns)):
+            view = routing.day_view(0, vantage)
+            for address, row in self._dest_rows(internet):
+                if row >= 0 and view.filtered[row]:
+                    cases.append((vantage, address))
+        assert cases, "expected at least one filtered destination"
+        for vantage, address in cases[:5]:
+            prefix = internet.bgp.lookup(address).prefix
+            hops = internet.traceroute(address, rng=random.Random(7), vantage=vantage)
+            # Everything past the border is blackholed: no hop may sit in the
+            # destination's announced prefix, and the probe itself is silent.
+            assert all(not prefix.contains(h) for h in hops)
+            assert internet.probe(address, Protocol.ICMP, vantage=vantage) is None
+
+    def test_zero_hop_answer_under_total_loss(self):
+        # packet_loss 0.5 doubles to per-hop loss 1.0: the target may still
+        # answer probes half the time, but every TTL-exceeded reply is lost.
+        flat = SimulatedInternet(self._routed_config(num_transit_ases=0, packet_loss=0.5))
+        routed = SimulatedInternet(self._routed_config(packet_loss=0.5))
+        for internet in (flat, routed):
+            for address in internet.all_bound_addresses()[:20]:
+                assert internet.traceroute(address, rng=random.Random(1)) == []
+
+    def test_rate_limited_upstream_sheds_mid_path_hops(self):
+        # One transit carrying all routes at full rate-limit scale has a zero
+        # token allowance: its routers answer nothing, while the destination
+        # network's own hops still appear.
+        limited = SimulatedInternet(
+            self._routed_config(num_transit_ases=1, upstream_rate_limit=1.0)
+        )
+        open_net = SimulatedInternet(self._routed_config(num_transit_ases=1))
+        allowances = limited.routing.transit_allowances(0)
+        assert set(allowances.values()) == {0.0}
+        saw_transit = False
+        for address in limited.all_bound_addresses()[:200:10]:
+            shed = limited.traceroute(address, rng=random.Random(3))
+            full = open_net.traceroute(address, rng=random.Random(3))
+            assert all(not TRANSIT_PREFIX.contains(h) for h in shed)
+            assert shed  # the destination segment still responds
+            saw_transit = saw_transit or any(TRANSIT_PREFIX.contains(h) for h in full)
+        assert saw_transit  # without the limit the same transits do answer
+
+    def test_path_changes_across_days_under_churn(self):
+        internet = SimulatedInternet(self._routed_config(bgp_churn_rate=0.6))
+        routing = internet.routing
+        case = None
+        for address, row in self._dest_rows(internet):
+            if row < 0:
+                continue
+            primary = routing.as_path(row, 0)
+            for day in range(1, 30):
+                if routing.as_path(row, day) not in (primary, []):
+                    case = (address, row, day)
+                    break
+            if case:
+                break
+        assert case, "expected churn to flip at least one destination"
+        address, row, day = case
+        assert routing.as_path(row, day) != routing.as_path(row, 0)
+        day0 = internet.traceroute(address, day=0, rng=random.Random(5))
+        flipped = internet.traceroute(address, day=day, rng=random.Random(5))
+        assert day0 and flipped and day0 != flipped
+
+    def test_engine_vantage_is_forwarded(self):
+        internet = SimulatedInternet(self._routed_config(filtered_region=2))
+        routing = internet.routing
+        # Pick a destination visible from one vantage but filtered from the
+        # other; the engine must honour the vantage it was constructed with.
+        pick = None
+        views = [routing.day_view(0, v) for v in range(len(routing.vantage_asns))]
+        for address, row in self._dest_rows(internet):
+            if row < 0:
+                continue
+            flags = [bool(v.filtered[row]) for v in views]
+            if len(set(flags)) == 2:
+                pick = (address, flags.index(False), flags.index(True))
+                break
+        assert pick, "expected a vantage-dependent destination"
+        address, clear, blocked = pick
+        assert TracerouteEngine(internet, seed=1, vantage=clear).trace(address).responded
+        clear_hops = internet.traceroute(address, rng=random.Random(1), vantage=clear)
+        blocked_hops = internet.traceroute(address, rng=random.Random(1), vantage=blocked)
+        assert len(blocked_hops) < len(clear_hops)
 
 
 class TestFingerprintProbe:

@@ -33,8 +33,26 @@ class TestRegistry:
             "high-churn",
             "deaggregated-swamp",
             "rate-limited",
+            "multi-vantage",
+            "filtered-region",
+            "bgp-churn",
             "megascale",
         } <= names
+
+    def test_fuzz_ranges_include_routing_knobs_with_degenerate_ends(self):
+        """The differential fuzzer sweeps routing knobs and can always land on
+        the flat end of each range (no transits, no filtering, no churn)."""
+        from repro.scenarios.differential import FUZZ_KNOB_RANGES
+
+        assert FUZZ_KNOB_RANGES["num_transit_ases"][0] == 0
+        assert FUZZ_KNOB_RANGES["num_vantages"][0] == 1
+        assert FUZZ_KNOB_RANGES["filtered_region"][0] == -1
+        assert FUZZ_KNOB_RANGES["bgp_churn_rate"][0] == 0.0
+
+    def test_routed_presets_enable_the_as_graph(self):
+        for name in ("multi-vantage", "filtered-region", "bgp-churn"):
+            config = get_scenario(name, scale="tiny").internet_config()
+            assert config.num_transit_ases > 0
 
     def test_unknown_name_lists_registered_names(self):
         with pytest.raises(ValueError, match="cdn-heavy"):
