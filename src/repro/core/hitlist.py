@@ -39,6 +39,7 @@ from repro.addr.batch import (
 from repro.addr.prefix import IPv6Prefix
 from repro.core.apd import AliasedPrefixDetector, APDConfig, APDResult, PrefixProbeOutcome
 from repro.core.bias import CoverageStats, coverage_stats
+from repro.events.dynamics import NetworkDynamics
 from repro.exec import ExecutionPolicy, resolve_policy
 from repro.netmodel.internet import SimulatedInternet
 from repro.netmodel.services import ALL_PROTOCOLS, Protocol
@@ -136,14 +137,23 @@ class Hitlist:
         rows outside ``[min_day, max_day]`` are ignored, which is how the
         incremental service merges exactly the days it has not seen yet.
         Returns the addresses that were new to the hitlist.
+
+        Fractional timestamps (sub-day event times from :mod:`repro.events`)
+        are floored to the day grid here, at the provenance boundary: the
+        ``first_seen_day`` column is integral by contract, and a float day
+        must never leak into it.
         """
         self._flush()
-        first_seen = np.asarray(first_seen, dtype=np.int64)
+        first_seen = np.asarray(first_seen)
+        if first_seen.dtype.kind == "f":
+            first_seen = np.floor(first_seen).astype(np.int64)
+        else:
+            first_seen = first_seen.astype(np.int64)
         keep = np.ones(len(batch), dtype=bool)
         if min_day is not None:
-            keep &= first_seen >= min_day
+            keep &= first_seen >= int(np.floor(min_day))
         if max_day is not None:
-            keep &= first_seen <= max_day
+            keep &= first_seen <= int(np.floor(max_day))
         if not keep.all():
             batch = batch.take(keep)
             first_seen = first_seen[keep]
@@ -204,8 +214,14 @@ class Hitlist:
 
     @classmethod
     def from_sources(cls, sources: Sequence[HitlistSource], day: int | None = None) -> "Hitlist":
-        """Build a hitlist from an explicit list of sources (vectorised)."""
+        """Build a hitlist from an explicit list of sources (vectorised).
+
+        *day* is floored to the day grid first, so a fractional event time
+        (e.g. a wave timestamp) selects exactly the completed days.
+        """
         hitlist = cls()
+        if day is not None:
+            day = int(np.floor(day))
         for source in sources:
             batch, first_seen = source.record_arrays()
             hitlist.merge_records(batch, first_seen, source.name, max_day=day)
@@ -468,6 +484,11 @@ class HitlistService:
         self.policy = resolve_policy(engine=engine, fast="batch", reference="reference")
         self.engine = self.policy.engine
         self._seed = seed
+        #: Sub-day dynamics (token buckets, rotation churn, probe waves), or
+        #: None for the degenerate whole-day configuration.  Owned per
+        #: service: the reference and batch engines each build their own
+        #: identically-seeded instance, so parity holds by construction.
+        self._dynamics = NetworkDynamics.from_config(internet, seed=seed)
         self.history: dict[int, DailyHitlist] = {}
         #: Per-day number of candidate prefixes actually (re-)probed.
         self.apd_probe_counts: dict[int, int] = {}
@@ -546,7 +567,7 @@ class HitlistService:
         self.apd_probe_counts[day] = len(apd_result.outcomes)
         targets = apd_result.filter_non_aliased(addresses)
         scheduler = ScanScheduler(self.internet, self.protocols, seed=self._seed ^ day)
-        scan_result = scheduler.run_day(targets, day)
+        scan_result = scheduler.run_day(targets, day, dynamics=self._dynamics)
         return DailyHitlist(
             day=day,
             input_addresses=len(addresses),
@@ -587,7 +608,7 @@ class HitlistService:
         aliased_mask = apd_result.is_aliased_batch(batch)
         targets = batch.take(~aliased_mask)
         scheduler = ScanScheduler(self.internet, self.protocols, seed=self._seed ^ day)
-        scan_result = scheduler.run_day_batch(targets, day)
+        scan_result = scheduler.run_day_batch(targets, day, dynamics=self._dynamics)
         return DailyHitlist(
             day=day,
             input_addresses=len(batch),

@@ -1,0 +1,80 @@
+"""Deterministic token-bucket rate limiters.
+
+Real ICMP rate limiters are not Bernoulli coins: a router sheds replies when
+a token pool is exhausted and recovers as it refills, so a probe burst that
+drains the bucket goes unanswered while the same burst after a quiet spell
+is answered in full.  The simulation historically modelled this with a
+stateless ``rng.random() > limit`` draw per probe -- unrealistic (no
+recovery) and a determinism hazard.  :class:`TokenBucket` is the
+replacement: lazily refilled state with no randomness at all, so rate-limit
+outcomes are a pure function of the arrival schedule.
+
+Time is measured in fractional days (matching
+:class:`repro.events.scheduler.EventScheduler`), refill rates in tokens per
+day.  A small epsilon guards the integer take so refills landing exactly on
+a wave boundary are not lost to float rounding.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Slack applied when flooring the fractional token balance: a refill meant
+#: to land exactly on a wave boundary (rate * span an exact integer in real
+#: arithmetic) must not round down to one token less.
+_EPSILON = 1e-9
+
+
+class TokenBucket:
+    """A capacity/refill-rate token pool over the simulated clock.
+
+    ``capacity`` is the burst ceiling (0 denies everything), ``refill_per_day``
+    the recovery rate.  Refill is lazy: each grant first credits
+    ``refill_per_day * elapsed`` tokens, capped at capacity.  The clock is
+    monotone -- grants at earlier timestamps than already seen credit no
+    tokens (negative elapsed clamps to zero), which is also why replaying a
+    past day against live buckets is unsupported.
+    """
+
+    __slots__ = ("capacity", "refill_per_day", "tokens", "last_time")
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_day: float,
+        *,
+        start_time: float = 0.0,
+    ):
+        self.capacity = max(0.0, float(capacity))
+        self.refill_per_day = max(0.0, float(refill_per_day))
+        self.tokens = self.capacity  # buckets start full: the first burst wins
+        self.last_time = float(start_time)
+
+    def refill_to(self, now: float) -> None:
+        """Credit the refill earned since the last interaction (monotone)."""
+        elapsed = now - self.last_time
+        if elapsed > 0.0:
+            self.tokens = min(self.capacity, self.tokens + self.refill_per_day * elapsed)
+            self.last_time = now
+
+    def available(self, now: float) -> int:
+        """Whole tokens available at *now* (after lazy refill)."""
+        self.refill_to(now)
+        return int(math.floor(self.tokens + _EPSILON))
+
+    def grant(self, now: float, requested: int) -> int:
+        """Consume up to *requested* tokens at *now*; returns the number granted.
+
+        A burst larger than the balance is truncated, never queued: the
+        excess arrivals are the probes the limiter drops.
+        """
+        if requested <= 0:
+            return 0
+        granted = min(int(requested), self.available(now))
+        if granted > 0:
+            self.tokens -= granted
+        return granted
+
+    def try_consume(self, now: float) -> bool:
+        """Consume a single token at *now* if one is available."""
+        return self.grant(now, 1) == 1

@@ -160,6 +160,7 @@ def chunked_probe_batch(
     chunk_rows: int,
     workers: int = 1,
     seed: int = 0,
+    wave_index: int = 0,
     out: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Streaming :meth:`SimulatedInternet.probe_batch` over an address batch.
@@ -172,18 +173,28 @@ def chunked_probe_batch(
     for a fixed ``chunk_rows`` independent of the worker count; with
     stochastic anomalies disabled ``probe_batch`` consumes no randomness and
     the matrix is bit-identical to the unchunked call.
+
+    Under sub-day probe waves pass the wave's index as *wave_index*: it
+    extends the chunk key to ``(seed, day, wave_index, start)`` so two waves
+    of the same day never share a stream.  The default 0 keeps the historical
+    ``(seed, day, start)`` key -- whole-day runs are bit-identical.
     """
     n = len(targets)
     protocols = tuple(protocols)
     if out is None:
         out = np.zeros((n, len(protocols)), dtype=bool)
 
+    def chunk_key(s: int) -> tuple:
+        if wave_index:
+            return (seed, day, wave_index, s)
+        return (seed, day, s)
+
     def run_span(span):
         partials = []
         for s, e in plan_chunk_spans_within(span[0], span[1], chunk_rows):
             chunk = AddressBatch(targets.hi[s:e], targets.lo[s:e])
             result = internet.probe_batch(
-                chunk, protocols, day, rng=np.random.default_rng((seed, day, s))
+                chunk, protocols, day, rng=np.random.default_rng(chunk_key(s))
             )
             partials.append((s, result.responsive))
         return partials
@@ -197,7 +208,7 @@ def chunked_probe_batch(
         for s, e in plan_chunk_spans(n, chunk_rows):
             chunk = AddressBatch(targets.hi[s:e], targets.lo[s:e])
             result = internet.probe_batch(
-                chunk, protocols, day, rng=np.random.default_rng((seed, day, s))
+                chunk, protocols, day, rng=np.random.default_rng(chunk_key(s))
             )
             out[s:e] = result.responsive
     return out

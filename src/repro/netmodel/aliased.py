@@ -44,6 +44,15 @@ class AliasedRegion:
     syn_proxy: bool = False
     #: If set, ICMP probes are rate limited to this acceptance probability.
     icmp_rate_limit: float | None = None
+    #: Deterministic-anomaly gate: when False (the Internet was built with
+    #: ``stochastic_anomalies=False``) the region consumes *no* random draws
+    #: -- SYN-proxy, rate-limit and answer-probability behaviour are all
+    #: disabled, leaving only the deterministic service/stability checks.
+    #: Historically the ICMP rate-limit Bernoulli fired regardless of the
+    #: gate, which both broke determinism and modelled no recovery; the
+    #: token buckets of :mod:`repro.events` are the deterministic
+    #: replacement.
+    stochastic: bool = True
 
     def covers(self, address: IPv6Address) -> bool:
         """True if *address* falls inside the aliased prefix."""
@@ -56,19 +65,35 @@ class AliasedRegion:
         day: int,
         rng: random.Random,
         time_of_day: float = 0.0,
+        *,
+        bucketed_icmp: bool = False,
     ) -> ProbeReply | None:
-        """Reply of the aliased machine for a probe to any covered address."""
+        """Reply of the aliased machine for a probe to any covered address.
+
+        ``bucketed_icmp`` marks a probe whose ICMP rate limiting was already
+        decided by a wave's token-bucket admission; the region must not
+        apply its own Bernoulli limit on top.
+        """
         if not self.covers(address):
             return None
         if protocol not in self.host.services:
             return None
         if not self.host.stability.is_online(day):
             return None
-        if self.syn_proxy and protocol.is_tcp and rng.random() > SYN_PROXY_ANSWER_PROBABILITY:
-            return None
-        if self.icmp_rate_limit is not None and protocol is Protocol.ICMP:
-            if rng.random() > self.icmp_rate_limit:
+        if self.stochastic:
+            if (
+                self.syn_proxy
+                and protocol.is_tcp
+                and rng.random() > SYN_PROXY_ANSWER_PROBABILITY
+            ):
                 return None
-        if rng.random() > self.answer_probability:
-            return None
+            if (
+                self.icmp_rate_limit is not None
+                and protocol is Protocol.ICMP
+                and not bucketed_icmp
+            ):
+                if rng.random() > self.icmp_rate_limit:
+                    return None
+            if rng.random() > self.answer_probability:
+                return None
         return self.host.reply(address, protocol, day, time_of_day)

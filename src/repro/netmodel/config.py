@@ -96,6 +96,34 @@ class InternetConfig:
         churn is deterministic per day).  Churn never flips a destination's
         filtered status -- an AS does not switch onto a blackholed route --
         so probe outcomes stay day-stable under the deterministic mix.
+    waves_per_day:
+        Number of timestamped probe waves a daily scan is split into by the
+        discrete-event layer (:mod:`repro.events`).  1 -- the default --
+        keeps the historical whole-day tick: unless another sub-day knob is
+        set, no event scheduler is built and every code path is
+        bit-identical to the day-granular behaviour.
+    icmp_bucket_capacity:
+        Token-bucket capacity (in probes) of the deterministic ICMP rate
+        limiters that replace the stateless Bernoulli draws when sub-day
+        dynamics are on.  Each rate-limited prefix, anomaly region and
+        transit pool gets a bucket scaled by its limit/allowance value; 0
+        disables the buckets entirely (the degenerate case).
+    icmp_bucket_refill_per_day:
+        Token refill rate of those buckets, in probes per simulated day;
+        limiters recover between probe waves at this rate (and fully
+        overnight when it exceeds the daily drain).
+    prefix_rotation_rate:
+        Per-day probability that an eyeball CPE/client host rotates its
+        delegated prefix (DHCPv6 churn).  A rotating host goes dark on its
+        old addresses at a deterministic time within the day and answers on
+        a fresh address in the same announced prefix -- mid-scan churn.
+        Pure per-(host, day) hash, so both engines agree exactly; 0
+        disables rotation.
+    competing_scanners:
+        Number of synthetic concurrent scanners charging the same ICMP
+        token budgets ahead of each of our probe waves (the two-scanner
+        interference regime).  0 -- the default -- models an uncontended
+        measurement.
     """
 
     seed: int = 2018
@@ -122,6 +150,11 @@ class InternetConfig:
     upstream_rate_limit: float = 0.0
     filtered_region: int = -1
     bgp_churn_rate: float = 0.0
+    waves_per_day: int = 1
+    icmp_bucket_capacity: float = 0.0
+    icmp_bucket_refill_per_day: float = 0.0
+    prefix_rotation_rate: float = 0.0
+    competing_scanners: int = 0
 
     def scaled(self, factor: float) -> "InternetConfig":
         """A copy with host counts scaled by *factor* (same structure)."""

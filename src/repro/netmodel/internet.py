@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -53,6 +53,9 @@ from repro.netmodel.schemes import (
 )
 from repro.netmodel.services import ALL_PROTOCOLS, HostRole, Protocol, profile_for
 from repro.netmodel.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.dynamics import NetworkDynamics, WaveAdmission
 
 #: Base of the synthetic allocation space: allocation *i* is ``2001:i::/32``-like.
 _ALLOCATION_BASE = 0x2001 << 112
@@ -172,6 +175,7 @@ class _BatchIndex:
         "bound_lo",
         "bound_host",
         "hosts",
+        "host_ids",
         "host_services",
         "region_list",
         "region_services",
@@ -219,20 +223,34 @@ class _BatchIndex:
             dtype=np.int64,
             count=len(internet.hosts),
         )
+        self.host_ids = np.fromiter(
+            (h.host_id for h in internet.hosts),
+            dtype=np.int64,
+            count=len(internet.hosts),
+        )
         self.region_list = internet.aliased_regions
         self.region_services = np.fromiter(
             (_service_mask(r.host.services) for r in self.region_list),
             dtype=np.int64,
             count=len(self.region_list),
         )
+        # Non-stochastic regions (deterministic-anomaly gate) encode as
+        # "always answers, no proxy, no limit" so the batch path mirrors the
+        # scalar reply exactly and draws nothing for them.
         self.region_answer_p = np.array(
-            [r.answer_probability for r in self.region_list], dtype=float
+            [r.answer_probability if r.stochastic else 1.0 for r in self.region_list],
+            dtype=float,
         )
         self.region_syn_proxy = np.array(
-            [r.syn_proxy for r in self.region_list], dtype=bool
+            [r.syn_proxy and r.stochastic for r in self.region_list], dtype=bool
         )
         self.region_icmp_limit = np.array(
-            [np.nan if r.icmp_rate_limit is None else r.icmp_rate_limit for r in self.region_list],
+            [
+                np.nan
+                if (r.icmp_rate_limit is None or not r.stochastic)
+                else r.icmp_rate_limit
+                for r in self.region_list
+            ],
             dtype=float,
         )
         self._host_online: dict[int, np.ndarray] = {}
@@ -520,6 +538,7 @@ class SimulatedInternet:
             syn_proxy=syn_proxy,
             icmp_rate_limit=icmp_rate_limit,
             answer_probability=answer_probability,
+            stochastic=self.config.stochastic_anomalies,
         )
         plan.aliased.append(region)
         self.aliased_regions.append(region)
@@ -562,12 +581,18 @@ class SimulatedInternet:
         rng: Optional[random.Random] = None,
         *,
         vantage: Optional[int] = None,
+        wave: "Optional[WaveAdmission]" = None,
     ) -> Optional[ProbeReply]:
         """Send one probe; return the reply or ``None`` for silence.
 
         This is the only interface the measurement pipeline uses.  Loss, ICMP
         rate limiting, aliased behaviour and -- with a routed AS graph -- the
         path effects of the day's route from *vantage* are applied here.
+
+        With a *wave* (sub-day dynamics on, :mod:`repro.events`) three things
+        change: token-bucket admission replaces every stochastic ICMP
+        rate-limit draw, hosts that rotated their prefix earlier in the day
+        are dark on their old addresses, and their fresh addresses answer.
         """
         rng = rng or self._probe_rng
         addr = address if isinstance(address, IPv6Address) else parse_address(address)
@@ -592,6 +617,9 @@ class SimulatedInternet:
         routed, icmp_limit, region, host, dest_row = cached
         if not routed:
             return None
+        bucketed = wave is not None and wave.buckets_active
+        if bucketed and protocol is Protocol.ICMP and not wave.admitted_value(addr.value):
+            return None
         routing = self.routing
         if routing.active:
             # Walk the day's route: deterministic effects first (filtering,
@@ -607,17 +635,26 @@ class SimulatedInternet:
             if (
                 protocol is Protocol.ICMP
                 and routing.has_rate_limit
+                and not bucketed
                 and rng.random() >= view.icmp_allowance[dest_row]
             ):
                 return None
-        if protocol is Protocol.ICMP and icmp_limit is not None:
+        if protocol is Protocol.ICMP and icmp_limit is not None and not bucketed:
             if rng.random() > icmp_limit:
                 return None
         if region is not None:
-            return region.reply(addr, protocol, day, rng, time_of_day)
-        if host is None:
-            return None
-        return host.reply(addr, protocol, day, time_of_day)
+            return region.reply(
+                addr, protocol, day, rng, time_of_day, bucketed_icmp=bucketed
+            )
+        if host is not None:
+            if wave is not None and wave.has_dark and wave.is_dark(host.host_id):
+                return None
+            return host.reply(addr, protocol, day, time_of_day)
+        if wave is not None and wave.has_rehomed:
+            rehomed = wave.rehomed_host(addr.value)
+            if rehomed is not None:
+                return rehomed.reply(addr, protocol, day, time_of_day)
+        return None
 
     def _ensure_batch_index(self) -> _BatchIndex:
         if self._batch_index is None:
@@ -641,6 +678,7 @@ class SimulatedInternet:
         *,
         rng: "np.random.Generator | int | None" = None,
         vantage: Optional[int] = None,
+        wave: "Optional[WaveAdmission]" = None,
     ) -> BatchProbeResult:
         """Resolve responsiveness for a whole target array in one pass.
 
@@ -678,6 +716,11 @@ class SimulatedInternet:
         routed = ann_index >= 0
         route_delivery: Optional[np.ndarray] = None
         route_allowance: Optional[np.ndarray] = None
+        # With active token buckets the wave's admission mask *is* the ICMP
+        # rate-limit model: the stochastic allowance and trie/region limit
+        # draws below are all superseded by it.
+        bucketed = wave is not None and wave.buckets_active
+        admitted = wave.admitted_for(targets) if bucketed else None
         routing = self.routing
         if routing.active:
             # Gather the day's route effects per target; deterministic parts
@@ -692,7 +735,7 @@ class SimulatedInternet:
                 routed &= ~view.filtered[rows]
             if routing.has_congestion:
                 route_delivery = np.where(routed, view.delivery[rows], 0.0)
-            if routing.has_rate_limit:
+            if routing.has_rate_limit and not bucketed:
                 route_allowance = np.where(routed, view.icmp_allowance[rows], 0.0)
         limit_index = index.limits.lookup_indices(targets)
         region_index = index.regions.lookup_indices(targets)
@@ -705,6 +748,22 @@ class SimulatedInternet:
         bound = host_positions >= 0
         region_online = index.region_online(day)
         host_online = index.host_online(day, host_positions)
+        # Sub-day rotation: hosts dark on their old addresses by wave time,
+        # and the day's re-homed addresses answering in their place.
+        dark_hosts: Optional[np.ndarray] = None
+        if wave is not None and wave.has_dark and bound.any():
+            dark_hosts = wave.dark_of(index.host_ids[host_positions[bound]])
+        rehome_cand: Optional[np.ndarray] = None
+        rehome_rows: Optional[np.ndarray] = None
+        rehome_online: Optional[np.ndarray] = None
+        if wave is not None and wave.has_rehomed:
+            positions = wave.rehome_positions(targets)
+            rehome_cand = (positions >= 0) & ~in_region & ~bound & routed
+            if rehome_cand.any():
+                rehome_rows = positions[rehome_cand]
+                rehome_online = wave.rehome_online(day, rehome_rows)
+            else:
+                rehome_cand = None
         loss = self.config.packet_loss
         for j, protocol in enumerate(protocols):
             bit = _PROTOCOL_BIT[protocol]
@@ -713,9 +772,11 @@ class SimulatedInternet:
             delivered = routed.copy() if loss <= 0.0 else routed & (rng.random(n) >= loss)
             if route_delivery is not None:
                 delivered &= rng.random(n) < route_delivery
+            if protocol is Protocol.ICMP and admitted is not None:
+                delivered &= admitted
             if protocol is Protocol.ICMP and route_allowance is not None:
                 delivered &= rng.random(n) < route_allowance
-            if protocol is Protocol.ICMP and len(index.limits):
+            if protocol is Protocol.ICMP and len(index.limits) and not bucketed:
                 limited = limit_index >= 0
                 if limited.any():
                     allowance = np.ones(n)
@@ -730,7 +791,7 @@ class SimulatedInternet:
                     ok &= ~syn | (
                         rng.random(region_rows.size) <= SYN_PROXY_ANSWER_PROBABILITY
                     )
-                if protocol is Protocol.ICMP:
+                if protocol is Protocol.ICMP and not bucketed:
                     limit = index.region_icmp_limit[region_rows]
                     has_limit = ~np.isnan(limit)
                     if has_limit.any():
@@ -745,7 +806,13 @@ class SimulatedInternet:
                 positions = host_positions[bound]
                 ok = (index.host_services[positions] & bit) != 0
                 ok &= host_online[bound]
+                if dark_hosts is not None:
+                    ok &= ~dark_hosts
                 answered[bound] = ok
+            if rehome_cand is not None:
+                ok = (wave.rehome_services[rehome_rows] & bit) != 0
+                ok &= rehome_online
+                answered[rehome_cand] = ok
             responsive[:, j] = delivered & answered
         return result
 
@@ -756,6 +823,8 @@ class SimulatedInternet:
         rng: Optional[random.Random] = None,
         *,
         vantage: Optional[int] = None,
+        dynamics: "Optional[NetworkDynamics]" = None,
+        time: Optional[float] = None,
     ) -> list[IPv6Address]:
         """Router hops observed on the path towards *address*.
 
@@ -764,6 +833,11 @@ class SimulatedInternet:
         valley-free route from *vantage*: transit routers appear per AS hop,
         regional filtering truncates the path at the region border, and
         rate-limited upstreams shed their TTL-exceeded replies.
+
+        With sub-day *dynamics* carrying active token buckets, upstream
+        shedding is deterministic: each TTL-exceeded reply claims one token
+        from its transit pool at simulated *time* (default noon of *day*)
+        instead of drawing against the static allowance.
         """
         rng = rng or self._probe_rng
         addr = address if isinstance(address, IPv6Address) else parse_address(address)
@@ -794,6 +868,10 @@ class SimulatedInternet:
         allowances = (
             routing.transit_allowances(vantage) if routing.has_rate_limit else {}
         )
+        bucketed = dynamics is not None and dynamics.buckets_active
+        if bucketed:
+            resolved_vantage = routing.resolve_vantage(vantage)
+            when = float(day) + 0.5 if time is None else float(time)
         hops: list[IPv6Address] = []
         for position, (asn, segment) in enumerate(
             zip(as_path[1:], routed_path.segments), start=1
@@ -804,8 +882,12 @@ class SimulatedInternet:
             for hop in segment:
                 if rng.random() <= loss:
                     continue
-                if allowance < 1.0 and rng.random() >= allowance:
-                    continue  # the upstream pool shed the TTL-exceeded reply
+                if allowance < 1.0:
+                    if bucketed:
+                        if not dynamics.transit_try_consume(resolved_vantage, asn, when):
+                            continue  # the pool is drained until it refills
+                    elif rng.random() >= allowance:
+                        continue  # the upstream pool shed the TTL-exceeded reply
                 hops.append(hop)
         return hops
 
@@ -887,3 +969,8 @@ class SimulatedInternet:
     def num_announced_prefixes(self) -> int:
         """Number of BGP announcements."""
         return len(self.bgp)
+
+    @property
+    def host_id_count(self) -> int:
+        """Size of the host-id space (ids are dense, ``0 .. count-1``)."""
+        return self._next_host_id

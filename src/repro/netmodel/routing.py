@@ -143,6 +143,7 @@ class RoutingModel:
         self._hops: list[np.ndarray] = []
         self._transit_allowance: list[dict[int, float]] = []
         self._day_views: dict[tuple[int, int], RouteDayView] = {}
+        self._upstreams: dict[int, np.ndarray] = {}
         for vantage in range(len(self.vantage_asns)):
             self._build_vantage(vantage, n)
 
@@ -336,6 +337,39 @@ class RoutingModel:
     def transit_allowances(self, vantage: "int | None" = None) -> dict[int, float]:
         """Per-transit ICMP allowance (token-pool survival probability)."""
         return dict(self._transit_allowance[self.resolve_vantage(vantage)])
+
+    def upstream_matrix(self, vantage: "int | None" = None) -> np.ndarray:
+        """First transit AS on each path, shape ``(2, n)`` (-1 = none).
+
+        Plane 0/1 mirror the primary/alternate path planes.  This is the
+        token-pool key the sub-day dynamics layer charges per ICMP arrival:
+        the first transit an inbound reply must cross on its way back.
+        """
+        vantage = self.resolve_vantage(vantage)
+        cached = self._upstreams.get(vantage)
+        if cached is not None:
+            return cached
+        n = len(self.dest_asns)
+        matrix = np.full((2, n), -1, dtype=np.int64)
+        for plane in (0, 1):
+            for row, path in enumerate(self._paths[vantage][plane]):
+                for asn in path[1:-1]:
+                    if self.graph.nodes[asn].kind == "transit":
+                        matrix[plane, row] = asn
+                        break
+        self._upstreams[vantage] = matrix
+        return matrix
+
+    def day_upstreams(self, day: int, vantage: "int | None" = None) -> np.ndarray:
+        """Per-destination-row transit pool key on *day* (churn-aware)."""
+        matrix = self.upstream_matrix(vantage)
+        n = matrix.shape[1]
+        rate = self.config.bgp_churn_rate
+        if rate <= 0.0:
+            return matrix[0]
+        draws = _churn_hash_batch(np.arange(n, dtype=np.uint64), day, self.config.seed)
+        plane = (draws < rate).astype(np.intp)
+        return matrix[plane, np.arange(n)]
 
     def filter_cut(self, path: tuple[int, ...]) -> "int | None":
         """Index of the first AS inside the filtered region entered from

@@ -11,7 +11,7 @@ full curation pipeline (including APD filtering) lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -20,6 +20,20 @@ from repro.addr.batch import AddressBatch, readonly_view
 from repro.netmodel.internet import BatchProbeResult, SimulatedInternet
 from repro.netmodel.services import ALL_PROTOCOLS, Protocol
 from repro.probing.zmap import ScanResult, ZMapScanner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.dynamics import NetworkDynamics
+
+
+def wave_spans(n: int, waves: int) -> list[tuple[int, int]]:
+    """Split *n* targets into *waves* contiguous spans (rounded evenly).
+
+    Both engines split identically -- the reference engine slices its
+    (ascending) target list, the batch engine slices its (same-order) target
+    batch -- so per-wave token-bucket charging sees the same arrivals.
+    """
+    bounds = [round(i * n / waves) for i in range(waves + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(waves)]
 
 
 @dataclass(slots=True)
@@ -144,23 +158,107 @@ class ScanScheduler:
         self.protocols = tuple(protocols)
         self._seed = seed
 
-    def run_day(self, targets: Iterable[IPv6Address], day: int) -> DailyScanResult:
-        """One daily measurement: sweep all protocols over the targets."""
+    def run_day(
+        self,
+        targets: Iterable[IPv6Address],
+        day: int,
+        *,
+        dynamics: "Optional[NetworkDynamics]" = None,
+    ) -> DailyScanResult:
+        """One daily measurement: sweep all protocols over the targets.
+
+        With active sub-day *dynamics* the day is split into timestamped
+        probe waves on the dynamics' event scheduler; without it (the
+        degenerate whole-day configuration) the historical single sweep runs
+        unchanged.
+        """
         target_list = list(targets)
         scanner = ZMapScanner(self.internet, seed=self._seed ^ (day * 0x9E3779B1))
-        results = scanner.sweep(target_list, self.protocols, day)
+        if dynamics is None or not dynamics.active:
+            results = scanner.sweep(target_list, self.protocols, day)
+            return DailyScanResult(day=day, targets=len(target_list), results=results)
+        results = {
+            protocol: ScanResult(protocol=protocol, day=day, targets=len(target_list))
+            for protocol in self.protocols
+        }
+        dynamics.begin_day(day)
+        for w, (start, stop) in enumerate(
+            wave_spans(len(target_list), dynamics.waves_per_day)
+        ):
+            span = target_list[start:stop]
+            when = dynamics.wave_time(day, w)
+
+            def fire(span=span, when=when):
+                wave = dynamics.begin_wave(day, when, span)
+                for protocol, result in scanner.sweep(
+                    span, self.protocols, day, wave=wave
+                ).items():
+                    results[protocol].replies.update(result.replies)
+
+            dynamics.scheduler.schedule(when, fire)
+        dynamics.scheduler.run_until(day + 1.0)
         return DailyScanResult(day=day, targets=len(target_list), results=results)
 
-    def run_day_batch(self, targets: AddressBatch, day: int) -> BatchDailyScanResult:
+    def run_day_batch(
+        self,
+        targets: AddressBatch,
+        day: int,
+        *,
+        dynamics: "Optional[NetworkDynamics]" = None,
+    ) -> BatchDailyScanResult:
         """One daily measurement as a single vectorised multi-protocol pass.
 
         Same per-day seeding discipline as :meth:`run_day`, but the whole
         (target x protocol) responsiveness matrix comes from one
-        ``probe_batch`` call via :meth:`ZMapScanner.sweep_batch`.
+        ``probe_batch`` call via :meth:`ZMapScanner.sweep_batch` -- or, with
+        active sub-day *dynamics*, from one ``probe_batch`` call per wave,
+        assembled into the same matrix.
         """
         scanner = ZMapScanner(self.internet, seed=self._seed ^ (day * 0x9E3779B1))
-        result = scanner.sweep_batch(targets, self.protocols, day)
-        return BatchDailyScanResult(day=day, result=result)
+        if dynamics is None or not dynamics.active:
+            result = scanner.sweep_batch(targets, self.protocols, day)
+            return BatchDailyScanResult(day=day, result=result)
+        scan = self.enqueue_day_batch(targets, day, dynamics, scanner=scanner)
+        dynamics.scheduler.run_until(day + 1.0)
+        return scan
+
+    def enqueue_day_batch(
+        self,
+        targets: AddressBatch,
+        day: int,
+        dynamics: "NetworkDynamics",
+        *,
+        scanner: Optional[ZMapScanner] = None,
+        phase: float = 0.5,
+    ) -> BatchDailyScanResult:
+        """Schedule a day's probe waves without running them yet.
+
+        The returned result's matrix fills in as the dynamics' scheduler
+        fires the waves (``dynamics.scheduler.run_until(day + 1)`` completes
+        it).  Two schedulers enqueueing against the *same* dynamics with
+        interleaved ``phase`` offsets is the scanner-contention scenario:
+        their waves alternate on the shared event queue and compete for the
+        same token budgets.
+        """
+        if scanner is None:
+            scanner = ZMapScanner(self.internet, seed=self._seed ^ (day * 0x9E3779B1))
+        n = len(targets)
+        responsive = np.zeros((n, len(self.protocols)), dtype=bool)
+        combined = BatchProbeResult(
+            day=day, protocols=self.protocols, targets=targets, responsive=responsive
+        )
+        dynamics.begin_day(day)
+        for w, (start, stop) in enumerate(wave_spans(n, dynamics.waves_per_day)):
+            when = dynamics.wave_time(day, w, phase)
+
+            def fire(start=start, stop=stop, when=when):
+                span = targets.take(np.arange(start, stop))
+                wave = dynamics.begin_wave(day, when, span)
+                result = scanner.sweep_batch(span, self.protocols, day, wave=wave)
+                responsive[start:stop, :] = result.responsive
+
+            dynamics.scheduler.schedule(when, fire)
+        return BatchDailyScanResult(day=day, result=combined)
 
     def run_campaign(
         self,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +19,9 @@ from repro.addr.batch import AddressBatch
 from repro.netmodel.internet import BatchProbeResult, SimulatedInternet
 from repro.netmodel.packets import ProbeReply
 from repro.netmodel.services import ALL_PROTOCOLS, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.dynamics import WaveAdmission
 
 
 @dataclass(slots=True)
@@ -57,18 +60,31 @@ class ZMapScanner:
         targets: Iterable[IPv6Address],
         protocol: Protocol,
         day: int = 0,
+        *,
+        wave: "Optional[WaveAdmission]" = None,
     ) -> ScanResult:
-        """Probe all *targets* once (plus retries) on one protocol."""
+        """Probe all *targets* once (plus retries) on one protocol.
+
+        With a *wave* (sub-day dynamics) probes carry the wave's timestamp
+        and its token-bucket/rotation state; shuffling still spreads load,
+        but admission was decided per wave in address order, so the shuffle
+        cannot perturb rate-limit outcomes.
+        """
         target_list = list(targets)
         # ZMap shuffles targets to spread load; irrelevant for correctness but
         # kept for fidelity and to decorrelate loss.
         self._rng.shuffle(target_list)
         result = ScanResult(protocol=protocol, day=day, targets=len(target_list))
+        time_of_day = 43200.0 if wave is None else (wave.time - day) * 86400.0
         for address in target_list:
-            reply = self.internet.probe(address, protocol, day, rng=self._rng)
+            reply = self.internet.probe(
+                address, protocol, day, time_of_day, rng=self._rng, wave=wave
+            )
             attempt = 0
             while reply is None and attempt < self.retries:
-                reply = self.internet.probe(address, protocol, day, rng=self._rng)
+                reply = self.internet.probe(
+                    address, protocol, day, time_of_day, rng=self._rng, wave=wave
+                )
                 attempt += 1
             if reply is not None:
                 result.replies[address] = reply
@@ -79,16 +95,23 @@ class ZMapScanner:
         targets: Iterable[IPv6Address],
         protocols: Sequence[Protocol] = ALL_PROTOCOLS,
         day: int = 0,
+        *,
+        wave: "Optional[WaveAdmission]" = None,
     ) -> dict[Protocol, ScanResult]:
         """Probe all targets on every protocol (the daily measurement)."""
         target_list = list(targets)
-        return {protocol: self.scan(target_list, protocol, day) for protocol in protocols}
+        return {
+            protocol: self.scan(target_list, protocol, day, wave=wave)
+            for protocol in protocols
+        }
 
     def sweep_batch(
         self,
         targets: "AddressBatch | Iterable[IPv6Address]",
         protocols: Sequence[Protocol] = ALL_PROTOCOLS,
         day: int = 0,
+        *,
+        wave: "Optional[WaveAdmission]" = None,
     ) -> BatchProbeResult:
         """Probe all targets on every protocol in one ``probe_batch`` call.
 
@@ -103,11 +126,11 @@ class ZMapScanner:
             targets = AddressBatch.from_addresses(targets)
         protocols = tuple(protocols)
         rng = np.random.default_rng(self._rng.getrandbits(63))
-        result = self.internet.probe_batch(targets, protocols, day, rng=rng)
+        result = self.internet.probe_batch(targets, protocols, day, rng=rng, wave=wave)
         for _ in range(self.retries):
             if result.responsive.all():
                 break
-            again = self.internet.probe_batch(targets, protocols, day, rng=rng)
+            again = self.internet.probe_batch(targets, protocols, day, rng=rng, wave=wave)
             result.responsive |= again.responsive
         return result
 

@@ -66,6 +66,18 @@ FUZZ_KNOB_RANGES: dict[str, tuple] = {
     "vantage_index": (0, 2),
     "filtered_region": (-1, 4),
     "bgp_churn_rate": (0.0, 0.6),
+    # Sub-day dynamics knobs (repro.events).  Every range includes the
+    # degenerate-zero end -- waves_per_day 1, capacity 0, rotation 0, no
+    # rivals -- so the fuzzer keeps exercising the bit-identical whole-day
+    # path alongside the event-driven one.  All four are deterministic by
+    # construction (token buckets and hash-driven rotation draw nothing), so
+    # the deterministic anomaly mix leaves them alone and the differential
+    # oracle parity-tests the wave machinery itself.
+    "waves_per_day": (1, 6),
+    "icmp_bucket_capacity": (0.0, 80.0),
+    "icmp_bucket_refill_per_day": (0.0, 320.0),
+    "prefix_rotation_rate": (0.0, 0.8),
+    "competing_scanners": (0, 3),
 }
 
 

@@ -156,6 +156,48 @@ BGP_CHURN = _preset(
     },
 )
 
+#: Mid-scan DHCPv6 churn: eyeball hosts rotate their delegated prefixes at
+#: deterministic times within the day while six probe waves sweep past --
+#: the residential-broadband regime that distorts responsiveness estimates.
+SUBDAY_CHURN = _preset(
+    "subday-churn",
+    "six probe waves per day over eyeball prefixes rotating mid-scan",
+    {
+        "waves_per_day": 6,
+        "prefix_rotation_rate": 0.35,
+        "eyeball_tail_boost": 2.0,
+    },
+)
+
+#: Token-bucket ICMP rate limiters draining under the first waves and
+#: recovering between them -- the deterministic replacement for the
+#: stateless Bernoulli limit, observable as within-day response recovery.
+RATE_LIMIT_RECOVERY = _preset(
+    "rate-limit-recovery",
+    "token-bucket ICMP rate limiters drain and recover across four daily waves",
+    {
+        "waves_per_day": 4,
+        "icmp_rate_limited_share": 0.35,
+        "icmp_bucket_capacity": 64.0,
+        "icmp_bucket_refill_per_day": 256.0,
+    },
+)
+
+#: A rival scanner charges the same token budgets ahead of every wave: our
+#: measured ICMP responsiveness drops for reasons that have nothing to do
+#: with the targets -- the two-scanner interference regime.
+SCANNER_CONTENTION = _preset(
+    "scanner-contention",
+    "a synthetic competing scanner drains shared ICMP token buckets",
+    {
+        "waves_per_day": 4,
+        "icmp_rate_limited_share": 0.3,
+        "icmp_bucket_capacity": 48.0,
+        "icmp_bucket_refill_per_day": 192.0,
+        "competing_scanners": 1,
+    },
+)
+
 #: The default structure, several times larger in every dimension -- the
 #: mega scale tier promoted to a named preset (one shared layer, so tier and
 #: preset cannot drift apart).

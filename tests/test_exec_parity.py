@@ -342,3 +342,56 @@ def test_out_of_core_probe_peak_memory_is_bounded(tmp_path):
     # bound is a multiple of the chunk footprint -- far below full size.
     assert peak < full_bytes // 4, (peak, full_bytes)
     np.testing.assert_array_equal(np.asarray(out), reference)
+
+
+# -- chunk rng keying under sub-day waves -------------------------------------
+
+
+@pytest.fixture(scope="module")
+def stochastic_probe_corpus():
+    """A stochastic internet (rng-consuming probes) and a target batch."""
+    ctx = build("context", "baseline", scale="tiny", anomalies="realistic")
+    targets = AddressBatch.from_addresses(ctx.hitlist.addresses[:600])
+    return ctx.internet, targets, APDConfig().protocols
+
+
+def test_wave_index_zero_keeps_historical_chunk_key(stochastic_probe_corpus):
+    """``wave_index=0`` must reproduce the pre-wave ``(seed, day, start)``
+    keying bit for bit -- whole-day runs cannot shift their streams."""
+    internet, targets, protocols = stochastic_probe_corpus
+    legacy = np.zeros((len(targets), len(protocols)), dtype=bool)
+    for s, e in plan_chunk_spans(len(targets), 128):
+        chunk = AddressBatch(targets.hi[s:e], targets.lo[s:e])
+        result = internet.probe_batch(
+            chunk, protocols, 1, rng=np.random.default_rng((9, 1, s))
+        )
+        legacy[s:e] = result.responsive
+    waved = chunked_probe_batch(
+        internet, targets, protocols, 1, chunk_rows=128, seed=9, wave_index=0
+    )
+    np.testing.assert_array_equal(waved, legacy)
+
+
+def test_wave_index_separates_streams(stochastic_probe_corpus):
+    """Two waves of the same day draw from distinct streams, and each wave's
+    result is reproducible independent of the worker count."""
+    internet, targets, protocols = stochastic_probe_corpus
+    runs = {
+        w: chunked_probe_batch(
+            internet, targets, protocols, 1, chunk_rows=128, seed=9, wave_index=w
+        )
+        for w in (0, 1, 2)
+    }
+    assert not np.array_equal(runs[0], runs[1])
+    assert not np.array_equal(runs[1], runs[2])
+    sharded = chunked_probe_batch(
+        internet,
+        targets,
+        protocols,
+        1,
+        chunk_rows=128,
+        workers=3,
+        seed=9,
+        wave_index=1,
+    )
+    np.testing.assert_array_equal(sharded, runs[1])

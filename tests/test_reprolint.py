@@ -596,3 +596,12 @@ def test_repository_declares_the_core_invariants():
     assert context.frozen_arrays["AddressBatch"] == ("hi", "lo")
     assert "_starts_hi" in context.frozen_arrays["FlatLPM"]
     assert "_responsive" in context.frozen_arrays["HitlistSnapshot"]
+
+
+def test_r1_covers_the_events_layer():
+    """The sub-day dynamics modules sit under the determinism rule: they lint
+    clean today, and an unseeded rng or wall-clock read there must fire R1."""
+    events = REPO_ROOT / "src" / "repro" / "events"
+    findings, files_checked = lint_paths([events], select=["R1"])
+    assert files_checked >= 4  # scheduler, tokenbucket, dynamics, contention
+    assert findings == [], "\n".join(f.format_human() for f in findings)

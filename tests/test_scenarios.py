@@ -36,6 +36,9 @@ class TestRegistry:
             "multi-vantage",
             "filtered-region",
             "bgp-churn",
+            "subday-churn",
+            "rate-limit-recovery",
+            "scanner-contention",
             "megascale",
         } <= names
 
@@ -48,6 +51,28 @@ class TestRegistry:
         assert FUZZ_KNOB_RANGES["num_vantages"][0] == 1
         assert FUZZ_KNOB_RANGES["filtered_region"][0] == -1
         assert FUZZ_KNOB_RANGES["bgp_churn_rate"][0] == 0.0
+
+    def test_fuzz_ranges_include_subday_knobs_with_degenerate_ends(self):
+        """The fuzzer sweeps the sub-day dynamics knobs too, and every range
+        starts at the flat end (one wave, no buckets, no rotation, no rival
+        scanner) so the degenerate whole-day configuration stays covered."""
+        from repro.scenarios.differential import FUZZ_KNOB_RANGES
+
+        assert FUZZ_KNOB_RANGES["waves_per_day"][0] == 1
+        assert FUZZ_KNOB_RANGES["icmp_bucket_capacity"][0] == 0.0
+        assert FUZZ_KNOB_RANGES["icmp_bucket_refill_per_day"][0] == 0.0
+        assert FUZZ_KNOB_RANGES["prefix_rotation_rate"][0] == 0.0
+        assert FUZZ_KNOB_RANGES["competing_scanners"][0] == 0
+
+    def test_subday_presets_activate_the_dynamics_layer(self):
+        from repro.events import NetworkDynamics
+        from repro.netmodel import SimulatedInternet
+
+        for name in ("subday-churn", "rate-limit-recovery", "scanner-contention"):
+            config = get_scenario(name, scale="tiny").internet_config()
+            assert config.waves_per_day > 1
+            dynamics = NetworkDynamics.from_config(SimulatedInternet(config))
+            assert dynamics is not None and dynamics.active, name
 
     def test_routed_presets_enable_the_as_graph(self):
         for name in ("multi-vantage", "filtered-region", "bgp-churn"):

@@ -214,3 +214,117 @@ class TestServiceEngineContract:
         standing = service.standing_hitlist
         assert len(standing) == len(expected)
         assert standing.provenance() == expected.provenance()
+
+
+class TestDeterministicAnomalyGate:
+    """Satellite regression: with ``stochastic_anomalies=False`` an aliased
+    region must consume no randomness at all.  Historically the ICMP
+    rate-limit Bernoulli fired regardless of the gate, so two probes of the
+    same (address, protocol, day) could disagree on a "deterministic"
+    Internet."""
+
+    @pytest.fixture(scope="class")
+    def rate_limited_region(self):
+        import random
+
+        from repro.netmodel.asregistry import ASCategory
+
+        internet = SimulatedInternet(DETERMINISTIC_CONFIG)
+        plan = next(
+            p for p in internet.plans if p.category is ASCategory.CLOUD_CDN
+        )
+        prefix = plan.allocation.nth_subnet(120, 8192)
+        region = internet._register_aliased_region(
+            plan, prefix, random.Random(99), icmp_rate_limit=0.7
+        )
+        return internet, region
+
+    def test_gate_follows_config(self, rate_limited_region):
+        _, region = rate_limited_region
+        assert region.stochastic is False
+        assert region.icmp_rate_limit == 0.7
+
+    def test_region_reply_consumes_no_randomness(self, rate_limited_region):
+        import random
+
+        from repro.netmodel.services import Protocol
+
+        _, region = rate_limited_region
+
+        class PoisonedRandom(random.Random):
+            def random(self):
+                raise AssertionError(
+                    "deterministic region drew from the rng"
+                )
+
+        reply = region.reply(
+            region.prefix.first, Protocol.ICMP, day=0, rng=PoisonedRandom()
+        )
+        assert reply is not None  # rate limit disabled, not "always shed"
+
+    def test_scalar_probe_is_rng_independent(self, rate_limited_region):
+        import random
+
+        from repro.netmodel.services import Protocol
+
+        internet, region = rate_limited_region
+        address = region.prefix.first
+        replies = [
+            internet.probe(address, Protocol.ICMP, day=1, rng=random.Random(s))
+            for s in (1, 2, 3)
+        ]
+        assert all(r is not None for r in replies)
+        assert len({r.protocol for r in replies}) == 1
+
+    def test_batch_column_matches_scalar(self, rate_limited_region):
+        from repro.netmodel.services import Protocol
+
+        internet, region = rate_limited_region
+        addresses = [region.prefix.first, region.prefix.last]
+        result = internet.probe_batch(addresses, [Protocol.ICMP], day=1)
+        scalar = [
+            internet.probe(a, Protocol.ICMP, day=1) is not None for a in addresses
+        ]
+        assert result.responsive[:, 0].tolist() == scalar
+
+
+class TestDayCutoffFloor:
+    """Satellite regression: fractional event timestamps must floor to the
+    day grid at the provenance boundary -- ``first_seen_day`` stays integral
+    and a float day cutoff selects exactly the completed days."""
+
+    def test_merge_records_floors_float_first_seen(self):
+        from repro.addr.batch import AddressBatch
+
+        hitlist = Hitlist()
+        batch = AddressBatch.from_ints([0x20010DB8 << 96 | i for i in range(4)])
+        first_seen = np.array([0.25, 1.0, 3.9, 4.999])
+        hitlist.merge_records(batch, first_seen, "waves")
+        days = hitlist.first_seen_days
+        assert days.dtype == np.int64
+        assert sorted(days.tolist()) == [0, 1, 3, 4]
+
+    def test_merge_records_floors_float_window(self):
+        from repro.addr.batch import AddressBatch
+
+        hitlist = Hitlist()
+        batch = AddressBatch.from_ints([0x20010DB8 << 96 | i for i in range(6)])
+        first_seen = np.arange(6, dtype=np.int64)
+        hitlist.merge_records(
+            batch, first_seen, "waves", min_day=1.7, max_day=3.5
+        )
+        # floor(1.7)=1 and floor(3.5)=3: days 1..3 inclusive survive.
+        assert sorted(hitlist.first_seen_days.tolist()) == [1, 2, 3]
+
+    def test_from_sources_floors_fractional_day(self):
+        source = ScriptedSource(
+            "late",
+            {
+                4: [IPv6Address(0x20010DB8 << 96 | 0xA)],
+                5: [IPv6Address(0x20010DB8 << 96 | 0xB)],
+            },
+        )
+        mid_day4 = Hitlist.from_sources([source], day=4.7)
+        whole_day4 = Hitlist.from_sources([source], day=4)
+        assert len(mid_day4) == len(whole_day4) == 1
+        assert mid_day4.first_seen_days.tolist() == [4]
